@@ -1,0 +1,47 @@
+"""Helpers shared by the benchmark files: single-run timing and table printing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_table(title: str, rows: list[dict]) -> None:
+    """Print a list of dict rows as an aligned text table."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    columns = list(rows[0].keys())
+    widths = {c: max(len(str(c)), *(len(_fmt(row[c])) for row in rows)) for c in columns}
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(_fmt(row[c]).ljust(widths[c]) for c in columns))
+
+
+def print_series(title: str, series: dict[str, np.ndarray], max_points: int = 12) -> None:
+    """Print named series (figure curves) with at most ``max_points`` samples each."""
+    print(f"\n=== {title} ===")
+    for name, values in series.items():
+        arr = np.asarray(values, dtype=float).ravel()
+        if arr.size > max_points:
+            idx = np.linspace(0, arr.size - 1, max_points).astype(int)
+            arr = arr[idx]
+        formatted = ", ".join(f"{v:.3f}" for v in arr)
+        print(f"{name:>24}: [{formatted}]")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-2 or abs(value) >= 1e4):
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    if isinstance(value, (tuple, list, np.ndarray)):
+        return "[" + ", ".join(f"{float(v):.2f}" for v in np.asarray(value).ravel()) + "]"
+    return str(value)

@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper: it runs the
+corresponding experiment runner once (timed by pytest-benchmark) and prints
+the rows/series the paper reports, so the output can be compared side by
+side with the original figures.  The experiment scale is controlled by the
+``ATLAS_BENCH_SCALE`` environment variable (smoke / small / paper); the
+default is "small".
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make bench_utils importable regardless of the invocation directory.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.experiments.scale import ExperimentScale, get_scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """The experiment scale shared by every benchmark in the session."""
+    selected = get_scale()
+    print(f"\n[atlas-bench] running at scale '{selected.name}'")
+    return selected

@@ -1,0 +1,23 @@
+"""Fig. 2: end-to-end latency CDF under one slice user (simulator vs system)."""
+
+import numpy as np
+from bench_utils import print_series, run_once
+
+from repro.experiments.motivation import fig2_latency_cdf
+
+
+def test_fig02_latency_cdf(benchmark, scale):
+    result = run_once(benchmark, fig2_latency_cdf, scale)
+    sim_values, sim_probs = result.simulator_cdf()
+    sys_values, sys_probs = result.system_cdf()
+    print_series(
+        "Fig. 2 — Latency CDF, one slice user (ms at deciles)",
+        {
+            "simulator": np.interp(np.linspace(0.1, 1.0, 10), sim_probs, sim_values),
+            "system": np.interp(np.linspace(0.1, 1.0, 10), sys_probs, sys_values),
+        },
+    )
+    increase = result.mean_latency_increase()
+    print(f"mean latency increase of the system over the simulator: {100 * increase:.1f}% "
+          "(paper: 25.2%)")
+    assert increase > 0.05

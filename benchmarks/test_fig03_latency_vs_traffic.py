@@ -1,0 +1,26 @@
+"""Fig. 3: end-to-end latency under different user traffic (1–4)."""
+
+from bench_utils import print_table, run_once
+
+from repro.experiments.motivation import fig3_latency_vs_traffic
+
+
+def test_fig03_latency_vs_traffic(benchmark, scale):
+    result = run_once(benchmark, fig3_latency_vs_traffic, scale)
+    rows = []
+    for traffic, sim, sys in zip(
+        result.traffic_levels, result.simulator_summaries, result.system_summaries
+    ):
+        rows.append(
+            {
+                "traffic": traffic,
+                "simulator_mean_ms": sim["mean"],
+                "system_mean_ms": sys["mean"],
+                "simulator_std_ms": sim["std"],
+                "system_std_ms": sys["std"],
+            }
+        )
+    print_table("Fig. 3 — Latency under different user traffic", rows)
+    # Latency grows with traffic and the system stays above the simulator.
+    assert rows[-1]["system_mean_ms"] > rows[0]["system_mean_ms"]
+    assert all(row["system_mean_ms"] > row["simulator_mean_ms"] for row in rows)

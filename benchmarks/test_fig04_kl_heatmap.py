@@ -1,0 +1,17 @@
+"""Fig. 4: heatmap of the KL-divergence under CPU × uplink-bandwidth usage."""
+
+from bench_utils import print_series, run_once
+
+from repro.experiments.motivation import fig4_kl_heatmap
+
+
+def test_fig04_kl_heatmap(benchmark, scale):
+    result = run_once(benchmark, fig4_kl_heatmap, scale)
+    print_series(
+        "Fig. 4 — KL-divergence heatmap (rows = UL bandwidth fraction)",
+        {f"ul_bw={ul:.1f}": result.kl_matrix[i] for i, ul in enumerate(result.ul_bw_levels)},
+    )
+    print(f"min divergence {result.min_divergence():.2f}, max divergence {result.max_divergence():.2f} "
+          "(paper: uneven, up to >10 in some cells)")
+    assert result.max_divergence() > result.min_divergence()
+    assert result.max_divergence() > 1.0

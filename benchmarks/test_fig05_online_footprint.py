@@ -1,0 +1,25 @@
+"""Fig. 5: footprint of DLDA and plain BO exploring the real network online."""
+
+import numpy as np
+from bench_utils import print_table, run_once
+
+from repro.experiments.motivation import fig5_online_footprint
+
+
+def test_fig05_online_footprint(benchmark, scale):
+    result = run_once(benchmark, fig5_online_footprint, scale)
+    rows = []
+    for method, series in result.methods.items():
+        rows.append(
+            {
+                "method": method,
+                "mean_usage": float(np.mean(series["usage"])),
+                "mean_qoe": float(np.mean(series["qoe"])),
+                "qoe_violation_rate": result.violation_rate(method),
+            }
+        )
+    print_table("Fig. 5 — Footprint of online learning methods (QoE requirement 0.9)", rows)
+    # The paper's point: most configurations explored by DLDA and BO violate
+    # the QoE requirement during online learning.
+    for row in rows:
+        assert row["qoe_violation_rate"] > 0.2

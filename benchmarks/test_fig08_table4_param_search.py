@@ -1,0 +1,25 @@
+"""Fig. 8 and Table 4: stage-1 simulation-parameter search (ours vs GP)."""
+
+from bench_utils import print_series, print_table, run_once
+
+from repro.experiments.stage1 import fig8_table4_parameter_search
+
+
+def test_fig08_table4_parameter_search(benchmark, scale):
+    comparison = run_once(benchmark, fig8_table4_parameter_search, scale)
+    print_table("Table 4 — Details of the offline learning-based simulator", comparison.table4_rows())
+    print_series(
+        "Fig. 8 — Searching progress (best avg. weighted discrepancy so far)",
+        {"GP, Best": comparison.gp.best_so_far(), "Ours, Best": comparison.ours.best_so_far()},
+    )
+    print(
+        f"discrepancy reduction: ours {100 * comparison.ours.discrepancy_reduction():.1f}% "
+        f"(paper: 81.2%), GP {100 * comparison.gp.discrepancy_reduction():.1f}%"
+    )
+    # Our BNN + parallel-Thompson-sampling search must not lose to the
+    # original simulator, and should do at least as well as the GP search.
+    assert comparison.ours.best_weighted_discrepancy <= comparison.ours.original_discrepancy + 1e-9
+    assert (
+        comparison.ours.best_weighted_discrepancy
+        <= comparison.gp.best_weighted_discrepancy + 0.15
+    )

@@ -1,0 +1,30 @@
+"""Fig. 9: latency CDF under the best simulation parameters of each method."""
+
+import numpy as np
+from bench_utils import print_series, run_once
+
+from repro.experiments.stage1 import fig9_latency_cdf_methods
+from repro.metrics.stats import empirical_cdf
+
+
+def test_fig09_latency_cdf_methods(benchmark, scale):
+    result = run_once(benchmark, fig9_latency_cdf_methods, scale=scale)
+    deciles = np.linspace(0.1, 1.0, 10)
+
+    def curve(samples):
+        values, probs = empirical_cdf(samples)
+        return np.interp(deciles, probs, values)
+
+    print_series(
+        "Fig. 9 — Latency CDF under best simulation parameters (ms at deciles)",
+        {
+            "system": curve(result.system),
+            "simulator (ours)": curve(result.augmented_ours),
+            "simulator (GP)": curve(result.augmented_gp),
+        },
+    )
+    print(
+        f"KL(system || ours) = {result.discrepancy('ours'):.3f}, "
+        f"KL(system || GP) = {result.discrepancy('gp'):.3f}"
+    )
+    assert np.isfinite(result.discrepancy("ours"))

@@ -1,0 +1,18 @@
+"""Fig. 11: slice latency stays stable when extra background users attach."""
+
+from bench_utils import print_table, run_once
+
+from repro.experiments.stage1 import fig11_isolation
+
+
+def test_fig11_isolation(benchmark, scale):
+    result = run_once(benchmark, fig11_isolation, scale)
+    print_table(
+        "Fig. 11 — Slice latency under extra mobile users (end-to-end isolation)",
+        [
+            {"extra_users": users, "mean_latency_ms": latency, "qoe": qoe}
+            for users, latency, qoe in zip(result.extra_users, result.mean_latencies_ms, result.qoes)
+        ],
+    )
+    # The slice's latency must be insensitive to the background users.
+    assert result.max_latency_shift() < 0.3

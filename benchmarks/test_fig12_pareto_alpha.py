@@ -1,0 +1,19 @@
+"""Fig. 12: Pareto boundary of discrepancy vs parameter distance (α sweep)."""
+
+from bench_utils import print_table, run_once
+
+from repro.experiments.stage1 import fig12_pareto_alpha
+
+
+def test_fig12_pareto_alpha(benchmark, scale):
+    alphas = (2.0, 7.0, 12.0) if scale.name != "paper" else (1.0, 4.0, 7.0, 12.0)
+    result = run_once(benchmark, fig12_pareto_alpha, scale, alphas=alphas)
+    print_table(
+        "Fig. 12 — Pareto boundary of the augmented simulator (weight α sweep)",
+        [
+            {"alpha": alpha, "discrepancy": disc, "parameter_distance": dist}
+            for alpha, disc, dist in zip(result.alphas, result.discrepancies, result.distances)
+        ],
+    )
+    assert all(d >= 0 for d in result.discrepancies)
+    assert all(d >= 0 for d in result.distances)

@@ -1,0 +1,20 @@
+"""Fig. 13: stage-1 searching progress under different numbers of parallel queries."""
+
+from bench_utils import print_series, print_table, run_once
+
+from repro.experiments.stage1 import fig13_parallel_queries
+
+
+def test_fig13_parallel_queries(benchmark, scale):
+    counts = (1, 4) if scale.name != "paper" else (1, 2, 4, 8, 16)
+    result = run_once(benchmark, fig13_parallel_queries, scale, parallel_counts=counts)
+    print_series(
+        "Fig. 13 — Searching progress with parallel queries (best weighted discrepancy)",
+        {f"parallel={count}": curve for count, curve in result.progress_curves.items()},
+    )
+    print_table(
+        "Best weighted discrepancy per parallelism",
+        [{"parallel": count, "best_weighted": value} for count, value in result.best_weighted.items()],
+    )
+    # More parallel Thompson-sampling queries should not hurt the search.
+    assert result.best_weighted[max(counts)] <= result.best_weighted[min(counts)] + 0.25

@@ -1,0 +1,27 @@
+"""Fig. 15: discrepancy reduction of the augmented simulator across resources."""
+
+import numpy as np
+from bench_utils import print_table, run_once
+
+from repro.experiments.stage1 import fig15_discrepancy_under_resources
+from repro.prototype.testbed import default_ground_truth
+
+
+def test_fig15_discrepancy_under_resources(benchmark, scale):
+    result = run_once(benchmark, fig15_discrepancy_under_resources, default_ground_truth(), scale)
+    reductions = result.reductions()
+    rows = [
+        {
+            "ul_bw_fraction, cpu_fraction": label,
+            "original": original,
+            "augmented": augmented,
+            "reduction": reduction,
+        }
+        for label, original, augmented, reduction in zip(
+            result.labels, result.original, result.augmented, reductions
+        )
+    ]
+    print_table("Fig. 15 — Discrepancy reduction under resource configurations", rows[:12])
+    print(f"mean reduction over the grid: {100 * float(np.mean(reductions)):.1f}% (paper: 79.3%)")
+    # The augmented simulator reduces the discrepancy for most grid cells.
+    assert float(np.mean(reductions > 0.0)) > 0.5

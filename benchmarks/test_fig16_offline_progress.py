@@ -1,0 +1,25 @@
+"""Fig. 16: offline training progress (average resource usage and QoE)."""
+
+import numpy as np
+from bench_utils import print_series, run_once
+
+from repro.experiments.stage2 import fig16_offline_progress
+
+
+def test_fig16_offline_progress(benchmark, scale):
+    result = run_once(benchmark, fig16_offline_progress, scale)
+    usage = result.usage_per_iteration()
+    qoe = result.qoe_per_iteration()
+    print_series(
+        "Fig. 16 — Offline training progress",
+        {"avg resource usage": usage, "avg QoE": qoe},
+    )
+    policy = result.policy
+    print(
+        f"best offline policy: usage {100 * policy.best_usage:.1f}% "
+        f"(paper: 19.81%), QoE {policy.best_qoe:.3f} (paper: 0.905)"
+    )
+    # Resource usage in the converged half should be below the random-
+    # exploration phase while the QoE requirement is being tracked.
+    assert np.mean(usage[len(usage) // 2:]) < np.mean(usage[: len(usage) // 3]) + 0.05
+    assert policy.best_qoe >= 0.85

@@ -1,0 +1,27 @@
+"""Fig. 17: QoE vs resource usage of the best offline policy per method."""
+
+from bench_utils import print_table, run_once
+
+from repro.experiments.stage2 import fig17_offline_comparison
+
+
+def test_fig17_offline_comparison(benchmark, scale):
+    methods = ("ours", "gp-ei", "gp-ucb", "dlda") if scale.name != "smoke" else ("ours", "gp-ei")
+    points = run_once(benchmark, fig17_offline_comparison, scale, methods=methods)
+    print_table(
+        "Fig. 17 — Best offline policies (paper: ours 0.905 QoE at 19.81% usage)",
+        [
+            {"method": p.method, "qoe": p.qoe, "resource_usage_percent": 100 * p.resource_usage}
+            for p in points
+        ],
+    )
+    by_method = {p.method: p for p in points}
+    ours = by_method["ours"]
+    # Our offline policy should be on (or near) the Pareto front: no compared
+    # method should both use clearly less resource and deliver clearly more QoE.
+    for name, point in by_method.items():
+        if name == "ours":
+            continue
+        assert not (
+            point.resource_usage < ours.resource_usage - 0.05 and point.qoe > ours.qoe + 0.05
+        ), f"{name} dominates ours"

@@ -1,0 +1,26 @@
+"""Fig. 18: offline Pareto boundary under different availability requirements."""
+
+from bench_utils import print_table, run_once
+
+from repro.experiments.stage2 import fig18_pareto_availability
+
+
+def test_fig18_pareto_availability(benchmark, scale):
+    methods = ("ours", "dlda") if scale.name != "paper" else ("ours", "gp-ei", "dlda")
+    availabilities = (0.7, 0.9) if scale.name != "paper" else (0.4, 0.6, 0.8, 0.9)
+    result = run_once(
+        benchmark, fig18_pareto_availability, scale, availabilities=availabilities, methods=methods
+    )
+    rows = []
+    for method, points in result.points.items():
+        for availability, point in zip(result.availabilities, points):
+            rows.append(
+                {
+                    "method": method,
+                    "availability_E": availability,
+                    "qoe": point.qoe,
+                    "usage_percent": 100 * point.resource_usage,
+                }
+            )
+    print_table("Fig. 18 — Pareto boundary under different availability requirements", rows)
+    assert all(0.0 <= row["qoe"] <= 1.0 for row in rows)

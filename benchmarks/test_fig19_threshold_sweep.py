@@ -1,0 +1,25 @@
+"""Fig. 19: average resource usage under different latency thresholds."""
+
+from bench_utils import print_table, run_once
+
+from repro.experiments.stage2 import fig19_threshold_sweep
+
+
+def test_fig19_threshold_sweep(benchmark, scale):
+    thresholds = (300.0, 500.0) if scale.name != "paper" else (300.0, 400.0, 500.0)
+    result = run_once(benchmark, fig19_threshold_sweep, scale, thresholds_ms=thresholds)
+    rows = []
+    for method, usages in result.usage.items():
+        for threshold, usage, qoe in zip(result.thresholds_ms, usages, result.qoe[method]):
+            rows.append(
+                {
+                    "method": method,
+                    "threshold_ms": threshold,
+                    "usage_percent": 100 * usage,
+                    "qoe": qoe,
+                }
+            )
+    print_table("Fig. 19 — Average usage under different latency thresholds", rows)
+    # Looser thresholds require no more resources than tight ones (ours).
+    ours = result.usage["ours"]
+    assert ours[-1] <= ours[0] + 0.05

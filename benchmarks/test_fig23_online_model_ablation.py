@@ -1,0 +1,27 @@
+"""Fig. 23: online approximation-function ablation (GP vs BNN vs BNN-Cont'd)."""
+
+from bench_utils import print_table, run_once
+
+from repro.experiments.stage3 import fig23_online_model_ablation
+
+
+def test_fig23_online_model_ablation(benchmark, scale):
+    variants = ("ours", "bnn") if scale.name == "smoke" else (
+        "ours", "bnn", "bnn_contd", "no_offline_acceleration",
+    )
+    result = run_once(benchmark, fig23_online_model_ablation, scale, variants=variants)
+    rows = [
+        {
+            "variant": variant,
+            "avg_usage_regret_percent": 100 * metrics["avg_usage_regret"],
+            "avg_qoe_regret": metrics["avg_qoe_regret"],
+            "sla_violation_rate": metrics["sla_violation_rate"],
+        }
+        for variant, metrics in result.regrets.items()
+    ]
+    print_table("Fig. 23 — Online approximation-function ablation", rows)
+    ours = result.regrets["ours"]
+    bnn = result.regrets["bnn"]
+    # The GP residual model is more sample efficient than learning the
+    # residual with a BNN from ~tens of online samples (paper: +96.5% QoE regret).
+    assert ours["avg_qoe_regret"] <= bnn["avg_qoe_regret"] + 0.1

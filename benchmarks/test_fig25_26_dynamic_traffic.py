@@ -1,0 +1,42 @@
+"""Figs. 25–26: online regrets under dynamic user traffic (Y = 500 ms)."""
+
+import numpy as np
+from bench_utils import print_table, run_once
+
+from repro.experiments.stage3 import fig25_26_dynamic_traffic
+
+
+def test_fig25_26_dynamic_traffic(benchmark, scale):
+    if scale.name == "paper":
+        traffic_levels, methods = (2, 3, 4), ("ours", "baseline", "virtualedge", "dlda")
+    elif scale.name == "small":
+        traffic_levels, methods = (2, 4), ("ours", "dlda")
+    else:
+        traffic_levels, methods = (2,), ("ours", "dlda")
+    result = run_once(
+        benchmark, fig25_26_dynamic_traffic, scale, traffic_levels=traffic_levels, methods=methods
+    )
+    rows = []
+    for method in methods:
+        for index, traffic in enumerate(result.traffic_levels):
+            rows.append(
+                {
+                    "method": method,
+                    "traffic": traffic,
+                    "avg_usage_regret_percent": 100 * result.usage_regret[method][index],
+                    "avg_qoe_regret": result.qoe_regret[method][index],
+                }
+            )
+    print_table("Figs. 25–26 — Online regrets under dynamic traffic (Y = 500 ms)", rows)
+    # All regrets are finite, and Atlas is never dominated by DLDA on both
+    # metrics at once (DLDA buys its QoE with extra resource usage).
+    for method in methods:
+        assert all(np.isfinite(v) for v in result.usage_regret[method])
+        assert all(v >= 0 for v in result.qoe_regret[method])
+    if scale.name != "smoke":
+        for index in range(len(result.traffic_levels)):
+            dominated = (
+                result.qoe_regret["dlda"][index] < result.qoe_regret["ours"][index] - 0.05
+                and result.usage_regret["dlda"][index] < result.usage_regret["ours"][index] - 0.02
+            )
+            assert not dominated

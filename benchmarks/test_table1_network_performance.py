@@ -1,0 +1,21 @@
+"""Table 1: network performance comparison between simulator and real network."""
+
+from bench_utils import print_table, run_once
+
+from repro.experiments.motivation import table1_network_performance
+
+
+def test_table1_network_performance(benchmark, scale):
+    rows = run_once(benchmark, table1_network_performance, scale)
+    print_table(
+        "Table 1 — Network performance comparison (10 MHz LTE)",
+        [
+            {"metric": row.metric, "simulator": row.simulator, "real_network": row.system}
+            for row in rows
+        ],
+    )
+    by_metric = {row.metric: row for row in rows}
+    # The real network delivers lower throughput than the simulator (paper:
+    # 11.8% lower UL and 3.9% lower DL).
+    assert by_metric["UL Throughput (Mbps)"].system < by_metric["UL Throughput (Mbps)"].simulator
+    assert by_metric["DL Throughput (Mbps)"].system < by_metric["DL Throughput (Mbps)"].simulator

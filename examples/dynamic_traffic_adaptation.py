@@ -1,0 +1,80 @@
+"""Dynamic traffic: reconfigure a slice as its user load changes.
+
+Network state changes (here, the number of on-the-fly frames emulating 1–4
+users) are part of the state ``s_t`` Atlas conditions on.  This example trains
+one offline policy per traffic level in the augmented simulator, then learns
+online at each level with a relaxed 500 ms threshold (the setup of
+Figs. 25–26), and reports how the recommended configuration scales with load.
+
+Run with:  python examples/dynamic_traffic_adaptation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import NetworkSimulator, RealNetwork, SLA
+from repro.core.offline_training import OfflineConfigurationTrainer, OfflineTrainingConfig
+from repro.core.online_learning import OnlineConfigurationLearner, OnlineLearningConfig
+from repro.prototype.testbed import default_ground_truth
+from repro.sim.scenario import Scenario
+
+
+def configure_for_traffic(traffic: int) -> dict:
+    """Train offline and learn online for one traffic level; return a summary."""
+    scenario = Scenario(traffic=traffic, duration_s=20.0)
+    sla = SLA(latency_threshold_ms=500.0, availability=0.9)
+    augmented_simulator = NetworkSimulator(scenario=scenario, seed=0).with_params(
+        default_ground_truth()
+    )
+    real_network = RealNetwork(scenario=scenario, seed=10 + traffic)
+
+    trainer = OfflineConfigurationTrainer(
+        simulator=augmented_simulator,
+        sla=sla,
+        traffic=traffic,
+        config=OfflineTrainingConfig(iterations=20, initial_random=6, parallel_queries=3,
+                                     candidate_pool=600, measurement_duration_s=20.0, seed=traffic),
+    )
+    policy = trainer.run().policy
+
+    learner = OnlineConfigurationLearner(
+        offline_policy=policy,
+        simulator=augmented_simulator,
+        real_network=real_network,
+        sla=sla,
+        traffic=traffic,
+        config=OnlineLearningConfig(iterations=10, offline_queries_per_step=5,
+                                    candidate_pool=600, measurement_duration_s=20.0, seed=traffic),
+    )
+    online = learner.run()
+    best = online.policy.best_config
+    return {
+        "traffic": traffic,
+        "offline_usage": policy.best_usage,
+        "online_usage": best.resource_usage() if best is not None else float("nan"),
+        "mean_online_qoe": float(np.mean(online.qoes())),
+        "uplink_prbs": best.bandwidth_ul,
+        "backhaul_mbps": best.backhaul_bw,
+        "cpu_ratio": best.cpu_ratio,
+    }
+
+
+def main() -> None:
+    print("traffic | offline usage | online usage | mean QoE | UL PRBs | backhaul | CPU")
+    print("-" * 80)
+    summaries = [configure_for_traffic(traffic) for traffic in (1, 2, 4)]
+    for row in summaries:
+        print(f"{row['traffic']:^7d} | {100 * row['offline_usage']:12.1f}% "
+              f"| {100 * row['online_usage']:11.1f}% | {row['mean_online_qoe']:8.3f} "
+              f"| {row['uplink_prbs']:7.1f} | {row['backhaul_mbps']:8.1f} | {row['cpu_ratio']:.2f}")
+    # Heavier traffic should require more resources to keep the SLA.
+    if summaries[-1]["online_usage"] >= summaries[0]["online_usage"]:
+        print("\nAs expected, the recommended allocation grows with the slice's load.")
+    else:
+        print("\nNote: at this small budget the allocations did not grow monotonically "
+              "with load; rerun with more iterations for the full effect.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Quickstart: measure a slice, quantify the sim-to-real gap, run Atlas end to end.
+
+This example walks through the public API in five minutes of compute:
+
+1. build the offline simulator and the real-network testbed substitute,
+2. measure one slice configuration on both and compare (the motivation of
+   the paper: the sim-to-real discrepancy),
+3. run the full three-stage Atlas pipeline on a small budget, and
+4. print the configuration Atlas converged to and its regrets.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Atlas, AtlasConfig, NetworkSimulator, RealNetwork, SLA, SliceConfig
+from repro.core.offline_training import OfflineTrainingConfig
+from repro.core.online_learning import OnlineLearningConfig
+from repro.core.simulator_learning import ParameterSearchConfig
+from repro.metrics import histogram_kl_divergence
+from repro.sim.scenario import Scenario
+
+
+def main() -> None:
+    scenario = Scenario(traffic=1, duration_s=20.0)
+    simulator = NetworkSimulator(scenario=scenario, seed=0)
+    real_network = RealNetwork(scenario=scenario, seed=1)
+    sla = SLA(latency_threshold_ms=300.0, availability=0.9)
+
+    # ------------------------------------------------------------------ step 1
+    config = SliceConfig(bandwidth_ul=10, bandwidth_dl=5, backhaul_bw=10, cpu_ratio=0.8)
+    sim_result = simulator.run(config, traffic=1, seed=1)
+    real_result = real_network.measure(config, traffic=1, seed=1)
+    discrepancy = histogram_kl_divergence(real_result.latencies_ms, sim_result.latencies_ms)
+
+    print("== The sim-to-real gap under one mid-range configuration ==")
+    print(f"simulator : mean latency {sim_result.mean_latency_ms:6.1f} ms, "
+          f"QoE(300ms) {sim_result.qoe(sla.latency_threshold_ms):.3f}")
+    print(f"real net  : mean latency {real_result.mean_latency_ms:6.1f} ms, "
+          f"QoE(300ms) {real_result.qoe(sla.latency_threshold_ms):.3f}")
+    print(f"KL divergence between the latency distributions: {discrepancy:.2f}\n")
+
+    # ------------------------------------------------------------------ step 2
+    print("== Running the three Atlas stages (small budget) ==")
+    atlas = Atlas(
+        simulator,
+        real_network,
+        AtlasConfig(
+            sla=sla,
+            traffic=1,
+            deployed_config=config,
+            online_collection_runs=2,
+            online_collection_duration_s=20.0,
+            stage1=ParameterSearchConfig(iterations=10, initial_random=4, parallel_queries=3,
+                                         candidate_pool=600, measurement_duration_s=20.0),
+            stage2=OfflineTrainingConfig(iterations=20, initial_random=6, parallel_queries=3,
+                                         candidate_pool=600, measurement_duration_s=20.0),
+            stage3=OnlineLearningConfig(iterations=12, offline_queries_per_step=5,
+                                        candidate_pool=600, measurement_duration_s=20.0),
+        ),
+    )
+    result = atlas.run_all()
+
+    stage1 = result.stage1
+    print(f"stage 1: discrepancy {stage1.original_discrepancy:.2f} -> {stage1.best_discrepancy:.2f} "
+          f"(parameter distance {stage1.best_distance:.3f})")
+    policy = result.offline_policy
+    print(f"stage 2: best offline config uses {100 * policy.best_usage:.1f}% resources "
+          f"at simulator QoE {policy.best_qoe:.3f}")
+    online = result.stage3
+    final = online.policy
+    print(f"stage 3: avg usage regret {100 * online.average_usage_regret():+.2f}%, "
+          f"avg QoE regret {online.average_qoe_regret():.3f}")
+    print(f"         final online config: {final.best_config}")
+    print(f"         real-network QoE of that config: {final.best_qoe:.3f} "
+          f"at {100 * final.best_usage:.1f}% usage")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Stage-1 walkthrough: calibrate the simulator against real-network measurements.
+
+The scenario mirrors Sec. 8.1 of the paper: a slice application is already
+deployed with a mid-range configuration; the operator logs its latency on the
+real network (the online collection ``D_r``), then searches the 7 simulation
+parameters of Table 3 so that the simulator's latency distribution matches
+the log — without drifting unreasonably far from the parameters derived from
+technical specifications (the weighted parameter-distance penalty).
+
+Run with:  python examples/sim_to_real_calibration.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import NetworkSimulator, RealNetwork, SliceConfig
+from repro.core.simulator_learning import ParameterSearchConfig, SimulatorParameterSearch
+from repro.core.spaces import SimulationParameterSpace
+from repro.metrics import histogram_kl_divergence, summarize_latencies
+from repro.prototype.telemetry import OnlineCollection
+from repro.sim.parameters import PARAMETER_NAMES
+from repro.sim.scenario import Scenario
+
+
+def main() -> None:
+    scenario = Scenario(traffic=1, duration_s=30.0)
+    simulator = NetworkSimulator(scenario=scenario, seed=0)
+    real_network = RealNetwork(scenario=scenario, seed=1)
+    deployed = SliceConfig(bandwidth_ul=10, bandwidth_dl=5, backhaul_bw=10, cpu_ratio=0.8)
+
+    # 1. Build the online collection D_r by logging the deployed configuration.
+    collection = OnlineCollection()
+    for run in range(3):
+        collection.extend(real_network.collect_latencies(deployed, traffic=1, seed=100 + run))
+    print(f"online collection D_r: {len(collection)} latency samples, "
+          f"mean {summarize_latencies(collection.samples()).mean:.1f} ms")
+
+    # 2. Quantify the discrepancy of the original simulator.
+    original_latencies = simulator.collect_latencies(deployed, traffic=1, seed=7)
+    original_kl = histogram_kl_divergence(collection.samples(), original_latencies)
+    print(f"original simulator discrepancy KL[D_r || D_s] = {original_kl:.2f}")
+
+    # 3. Search the simulation parameters (Alg. 1: BNN + parallel Thompson sampling).
+    search = SimulatorParameterSearch(
+        simulator=simulator,
+        real_collection=collection.samples(),
+        deployed_config=deployed,
+        space=SimulationParameterSpace(),
+        config=ParameterSearchConfig(
+            iterations=15, initial_random=5, parallel_queries=4,
+            candidate_pool=800, measurement_duration_s=30.0, alpha=7.0,
+        ),
+    )
+    result = search.run()
+
+    print("\nbest simulation parameters found:")
+    for name, original, best in zip(
+        PARAMETER_NAMES, search.space.original.to_array(), result.best_parameters.to_array()
+    ):
+        print(f"  {name:>18}: {original:7.2f} -> {best:7.2f}")
+    print(f"discrepancy: {result.original_discrepancy:.2f} -> {result.best_discrepancy:.2f} "
+          f"({100 * result.discrepancy_reduction():.0f}% reduction) "
+          f"at parameter distance {result.best_distance:.3f}")
+
+    # 4. Validate the augmented simulator on a traffic level it was NOT calibrated on.
+    augmented = simulator.with_params(result.best_parameters)
+    for traffic in (1, 3):
+        real = real_network.collect_latencies(deployed, traffic=traffic, seed=50 + traffic)
+        orig = simulator.collect_latencies(deployed, traffic=traffic, seed=50 + traffic)
+        aug = augmented.collect_latencies(deployed, traffic=traffic, seed=50 + traffic)
+        print(f"traffic {traffic}: KL original {histogram_kl_divergence(real, orig):.2f}  "
+              f"KL augmented {histogram_kl_divergence(real, aug):.2f}")
+
+    print("\nprogress of the search (best weighted discrepancy so far):")
+    print(np.array2string(result.best_so_far(), precision=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Reproduction of *Atlas: Automate Online Service Configuration in Network Slicing*.
+
+Atlas (Liu, Choi, Han — CoNEXT 2022) automates the cross-domain service
+configuration of end-to-end network slices with three interrelated stages:
+
+1. a *learning-based simulator* whose simulation parameters are searched with
+   Bayesian optimisation to minimise the sim-to-real discrepancy,
+2. *offline training* of a configuration policy in the augmented simulator
+   with a Bayesian neural network surrogate and parallel Thompson sampling,
+3. safe *online learning* in the real network with a Gaussian-process model
+   of the sim-to-real QoE difference and a conservative acquisition function.
+
+This package provides the full system: the discrete-event network simulator
+substrate (``repro.sim``), the real-network testbed substitute
+(``repro.prototype``), the learning stack (``repro.models``), the three Atlas
+stages (``repro.core``), the baselines the paper compares against
+(``repro.baselines``) and the experiment runners used by the benchmark
+harness (``repro.experiments``).
+"""
+
+from repro.core.atlas import Atlas, AtlasConfig
+from repro.core.spaces import ConfigurationSpace, SimulationParameterSpace
+from repro.prototype.slice_manager import SLA
+from repro.prototype.testbed import RealNetwork
+from repro.sim.config import SliceConfig
+from repro.sim.network import NetworkSimulator
+from repro.sim.parameters import SimulationParameters
+
+__all__ = [
+    "Atlas",
+    "AtlasConfig",
+    "ConfigurationSpace",
+    "SimulationParameterSpace",
+    "SLA",
+    "SliceConfig",
+    "NetworkSimulator",
+    "SimulationParameters",
+    "RealNetwork",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,32 @@
+"""Baselines the paper compares Atlas against.
+
+* :class:`~repro.baselines.gp_bo.GPConfigurationOptimizer` — Bayesian
+  optimisation with a GP surrogate and a classic acquisition function (EI by
+  default).  Used as the paper's "Baseline" when pointed at the real network
+  and as the GP-EI / GP-PI / GP-UCB offline comparators of Figs. 17–18 when
+  pointed at the simulator.
+* :class:`~repro.baselines.dlda.DLDA` — the NSDI'21 transfer-learning
+  approach: a teacher DNN trained on an offline grid dataset, cloned into a
+  student that is fine-tuned with online samples; configurations are chosen
+  by sampling 10k candidates and picking the cheapest one predicted to meet
+  the QoE requirement.
+* :class:`~repro.baselines.virtualedge.VirtualEdge` — the ICDCS'19 approach:
+  an online GP of the slice QoE plus predictive gradient descent on the
+  current configuration.
+"""
+
+from repro.baselines.base import BaselineIterationRecord, BaselineResult
+from repro.baselines.dlda import DLDA, DLDAConfig
+from repro.baselines.gp_bo import GPConfigurationOptimizer, GPOptimizerConfig
+from repro.baselines.virtualedge import VirtualEdge, VirtualEdgeConfig
+
+__all__ = [
+    "BaselineIterationRecord",
+    "BaselineResult",
+    "GPConfigurationOptimizer",
+    "GPOptimizerConfig",
+    "DLDA",
+    "DLDAConfig",
+    "VirtualEdge",
+    "VirtualEdgeConfig",
+]

@@ -1,0 +1,70 @@
+"""Shared result containers for the baseline learners.
+
+All baselines record the same per-iteration quantities as Atlas' online
+stage so that Figs. 20–21, Table 5 and the dynamic-traffic experiments can
+compare them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.regret import RegretTracker
+from repro.sim.config import SliceConfig
+
+__all__ = ["BaselineIterationRecord", "BaselineResult"]
+
+
+@dataclass(frozen=True)
+class BaselineIterationRecord:
+    """One environment query made by a baseline learner."""
+
+    iteration: int
+    config: tuple[float, ...]
+    resource_usage: float
+    qoe: float
+    sla_met: bool
+
+    def to_slice_config(self) -> SliceConfig:
+        """Rebuild the configuration action of this record."""
+        return SliceConfig.from_array(np.asarray(self.config))
+
+
+@dataclass
+class BaselineResult:
+    """History and regret of one baseline run."""
+
+    method: str
+    history: list[BaselineIterationRecord] = field(default_factory=list)
+    regret: RegretTracker = field(default_factory=RegretTracker)
+
+    def usages(self) -> np.ndarray:
+        """Resource usage of every iteration, in order."""
+        return np.array([r.resource_usage for r in self.history], dtype=float)
+
+    def qoes(self) -> np.ndarray:
+        """QoE of every iteration, in order."""
+        return np.array([r.qoe for r in self.history], dtype=float)
+
+    def best_feasible(self) -> BaselineIterationRecord | None:
+        """Lowest-usage record that met the SLA, or ``None``."""
+        feasible = [r for r in self.history if r.sla_met]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda r: r.resource_usage)
+
+    def average_usage_regret(self) -> float:
+        """Average per-iteration resource-usage regret (Table 5)."""
+        return self.regret.average_usage_regret()
+
+    def average_qoe_regret(self) -> float:
+        """Average per-iteration QoE regret (Table 5)."""
+        return self.regret.average_qoe_regret()
+
+    def sla_violation_rate(self) -> float:
+        """Fraction of iterations that violated the SLA."""
+        if not self.history:
+            return 0.0
+        return float(np.mean([not r.sla_met for r in self.history]))

@@ -1,0 +1,198 @@
+"""End-to-end Atlas orchestration: simulator learning → offline training → online learning.
+
+:class:`Atlas` wires the three stages together exactly as the paper's
+workflow does (Appendix D): build the online collection ``D_r`` from the
+real network, search the simulation parameters (stage 1), train the offline
+policy in the augmented simulator (stage 2), then learn online in the real
+network (stage 3).  Individual stages can be disabled to reproduce the
+component ablation of Fig. 24.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.offline_training import (
+    OfflineConfigurationTrainer,
+    OfflineTrainingConfig,
+    OfflineTrainingResult,
+)
+from repro.core.online_learning import (
+    OnlineConfigurationLearner,
+    OnlineLearningConfig,
+    OnlineLearningResult,
+)
+from repro.core.policy import OfflinePolicy
+from repro.core.simulator_learning import (
+    ParameterSearchConfig,
+    ParameterSearchResult,
+    SimulatorParameterSearch,
+)
+from repro.core.spaces import SimulationParameterSpace
+from repro.models.bnn import BayesianNeuralNetwork
+from repro.prototype.slice_manager import SLA
+from repro.prototype.telemetry import OnlineCollection
+from repro.prototype.testbed import RealNetwork
+from repro.sim.config import SliceConfig
+from repro.sim.network import NetworkSimulator
+
+__all__ = ["AtlasConfig", "AtlasResult", "Atlas"]
+
+
+@dataclass(frozen=True)
+class AtlasConfig:
+    """Configuration of the full three-stage pipeline."""
+
+    sla: SLA = field(default_factory=SLA)
+    traffic: int = 1
+    #: Configuration deployed while collecting ``D_r`` (a mid-range default).
+    deployed_config: SliceConfig = field(default_factory=SliceConfig)
+    #: Number of real-network measurements used to build ``D_r``.
+    online_collection_runs: int = 3
+    #: Duration (s) of each ``D_r`` measurement.
+    online_collection_duration_s: float = 30.0
+    stage1: ParameterSearchConfig = field(default_factory=ParameterSearchConfig)
+    stage2: OfflineTrainingConfig = field(default_factory=OfflineTrainingConfig)
+    stage3: OnlineLearningConfig = field(default_factory=OnlineLearningConfig)
+    #: Stage toggles for the Fig. 24 ablation.
+    enable_stage1: bool = True
+    enable_stage2: bool = True
+    enable_stage3: bool = True
+    seed: int = 0
+
+
+@dataclass
+class AtlasResult:
+    """Aggregated results of whichever stages were run."""
+
+    stage1: ParameterSearchResult | None = None
+    stage2: OfflineTrainingResult | None = None
+    stage3: OnlineLearningResult | None = None
+
+    @property
+    def augmented_parameters(self):
+        """Best simulation parameters found by stage 1 (or ``None``)."""
+        return self.stage1.best_parameters if self.stage1 is not None else None
+
+    @property
+    def offline_policy(self) -> OfflinePolicy | None:
+        """Offline policy produced by stage 2 (or ``None``)."""
+        return self.stage2.policy if self.stage2 is not None else None
+
+
+class Atlas:
+    """The integrated offline–online network slicing system."""
+
+    def __init__(
+        self,
+        simulator: NetworkSimulator,
+        real_network: RealNetwork,
+        config: AtlasConfig | None = None,
+    ) -> None:
+        self.simulator = simulator
+        self.real_network = real_network
+        self.config = config if config is not None else AtlasConfig()
+        self.online_collection = OnlineCollection()
+        self.augmented_simulator: NetworkSimulator = simulator
+        self._offline_policy: OfflinePolicy | None = None
+
+    # --------------------------------------------------------- online dataset
+    def collect_online_dataset(self) -> OnlineCollection:
+        """Build ``D_r`` by logging the currently deployed configuration's latency."""
+        for run in range(self.config.online_collection_runs):
+            latencies = self.real_network.collect_latencies(
+                self.config.deployed_config,
+                traffic=self.config.traffic,
+                duration=self.config.online_collection_duration_s,
+                seed=1000 + run,
+            )
+            self.online_collection.extend(latencies)
+        return self.online_collection
+
+    # ----------------------------------------------------------------- stage 1
+    def build_simulator(self) -> ParameterSearchResult | None:
+        """Run stage 1 and install the augmented simulator for later stages."""
+        if not self.config.enable_stage1:
+            self.augmented_simulator = self.simulator
+            return None
+        if not self.online_collection:
+            self.collect_online_dataset()
+        search = SimulatorParameterSearch(
+            simulator=self.simulator,
+            real_collection=self.online_collection.samples(),
+            deployed_config=self.config.deployed_config,
+            space=SimulationParameterSpace(original=self.simulator.params),
+            config=self.config.stage1,
+            traffic=self.config.traffic,
+        )
+        result = search.run()
+        self.augmented_simulator = self.simulator.with_params(result.best_parameters)
+        return result
+
+    # ----------------------------------------------------------------- stage 2
+    def train_offline(self) -> OfflineTrainingResult | None:
+        """Run stage 2 in the augmented simulator."""
+        if not self.config.enable_stage2:
+            self._offline_policy = self._uninformed_policy()
+            return None
+        trainer = OfflineConfigurationTrainer(
+            simulator=self.augmented_simulator,
+            sla=self.config.sla,
+            traffic=self.config.traffic,
+            config=self.config.stage2,
+        )
+        result = trainer.run()
+        self._offline_policy = result.policy
+        return result
+
+    def _uninformed_policy(self) -> OfflinePolicy:
+        """A placeholder offline policy used when stage 2 is ablated away.
+
+        The BNN is fitted on a handful of random points with pessimistic QoE
+        so it carries essentially no information; the starting configuration
+        is the mid-range deployed configuration.
+        """
+        state = (float(self.config.traffic), float(self.simulator.scenario.distance_m), 0.0)
+        model = BayesianNeuralNetwork(input_dim=len(state) + 1 + 6, hidden_layers=(16,), seed=self.config.seed)
+        rng = np.random.default_rng(self.config.seed)
+        random_actions = rng.uniform(0.0, 1.0, size=(8, 6))
+        from repro.core.policy import build_features  # local import avoids a cycle at module load
+
+        features = build_features(state, self.config.sla, random_actions)
+        model.fit(features, np.full(len(features), 0.5), epochs=30)
+        return OfflinePolicy(
+            qoe_model=model,
+            sla=self.config.sla,
+            state=state,
+            best_config=self.config.deployed_config,
+            best_qoe=0.5,
+            best_usage=self.config.deployed_config.resource_usage(),
+            multiplier=0.0,
+        )
+
+    # ----------------------------------------------------------------- stage 3
+    def learn_online(self) -> OnlineLearningResult | None:
+        """Run stage 3 against the real network."""
+        if self._offline_policy is None:
+            raise RuntimeError("train_offline() must run before learn_online()")
+        if not self.config.enable_stage3:
+            return None
+        learner = OnlineConfigurationLearner(
+            offline_policy=self._offline_policy,
+            simulator=self.augmented_simulator,
+            real_network=self.real_network,
+            sla=self.config.sla,
+            traffic=self.config.traffic,
+            config=self.config.stage3,
+        )
+        return learner.run()
+
+    # ------------------------------------------------------------------- whole
+    def run_all(self) -> AtlasResult:
+        """Run every enabled stage in order and return the aggregated result."""
+        stage1 = self.build_simulator()
+        stage2 = self.train_offline()
+        stage3 = self.learn_online()
+        return AtlasResult(stage1=stage1, stage2=stage2, stage3=stage3)

@@ -1,0 +1,63 @@
+"""Adaptive penalisation of the SLA constraint (Lagrangian primal–dual method).
+
+The constrained configuration problem P1 (Eqs. 5–7) is relaxed into the
+Lagrangian ``L(a, lambda) = F(phi) - lambda * (Q(phi) - E)`` (Eq. 8).  The
+multiplier is updated by projected sub-gradient descent on the dual
+(Eq. 9 offline, Eq. 15 online): it grows while the SLA is violated, steering
+the primal minimisation toward feasible configurations, and shrinks back
+toward zero when the constraint is comfortably met.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["AdaptiveMultiplier"]
+
+
+class AdaptiveMultiplier:
+    """Projected sub-gradient dual update of the Lagrangian multiplier.
+
+    Parameters
+    ----------
+    step_size:
+        The dual step size ``epsilon`` (0.1 in the paper's evaluation).
+    initial:
+        Initial multiplier value (0 offline; the online stage starts from the
+        final offline multiplier).
+    """
+
+    def __init__(self, step_size: float = 0.1, initial: float = 0.0) -> None:
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if initial < 0:
+            raise ValueError("initial multiplier must be non-negative")
+        self.step_size = float(step_size)
+        self._value = float(initial)
+        self.history: list[float] = [self._value]
+
+    @property
+    def value(self) -> float:
+        """Current multiplier ``lambda``."""
+        return self._value
+
+    def update(self, qoe_estimate: float, requirement: float) -> float:
+        """Apply one dual update ``lambda <- [lambda - eps * (Q - E)]_+`` and return it."""
+        if not 0.0 <= requirement <= 1.0:
+            raise ValueError("requirement must be in [0, 1]")
+        self._value = max(self._value - self.step_size * (float(qoe_estimate) - requirement), 0.0)
+        self.history.append(self._value)
+        return self._value
+
+    def lagrangian(self, usage, qoe, requirement: float) -> np.ndarray:
+        """Evaluate ``L = F - lambda * (Q - E)`` (vectorised over candidates)."""
+        usage_arr = np.asarray(usage, dtype=float)
+        qoe_arr = np.asarray(qoe, dtype=float)
+        return usage_arr - self._value * (qoe_arr - requirement)
+
+    def reset(self, value: float = 0.0) -> None:
+        """Reset the multiplier (used between independent experiments)."""
+        if value < 0:
+            raise ValueError("multiplier must be non-negative")
+        self._value = float(value)
+        self.history = [self._value]

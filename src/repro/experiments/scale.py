@@ -1,0 +1,121 @@
+"""Experiment scaling: smoke / small / paper iteration budgets.
+
+The paper's experiments use 500 stage-1 iterations, 1000 offline iterations,
+100 online iterations and 60-second measurements — several hours of wall
+clock even with multiprocessing.  The benchmark harness therefore runs the
+same code with smaller budgets by default; set ``ATLAS_BENCH_SCALE=paper``
+to reproduce the full-scale runs and ``ATLAS_BENCH_SCALE=smoke`` for the
+fastest possible sanity pass.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ExperimentScale", "SCALES", "get_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Iteration budgets and measurement durations for the experiment runners."""
+
+    name: str
+    #: Duration (s) of each simulator / real-network measurement.
+    measurement_duration_s: float
+    #: Number of repeated runs for purely observational experiments.
+    motivation_runs: int
+    #: Stage 1 (learning-based simulator) budgets.
+    stage1_iterations: int
+    stage1_initial_random: int
+    stage1_parallel: int
+    stage1_candidate_pool: int
+    #: Stage 2 (offline training) budgets.
+    stage2_iterations: int
+    stage2_initial_random: int
+    stage2_parallel: int
+    stage2_candidate_pool: int
+    #: Stage 3 (online learning) budgets.
+    stage3_iterations: int
+    stage3_offline_queries: int
+    stage3_candidate_pool: int
+    #: Baseline budgets.
+    baseline_iterations: int
+    dlda_grid_points: int
+    dlda_selection_pool: int
+    #: Heatmap resolution (cells per axis) for the Fig. 4 / Fig. 15 grids.
+    heatmap_resolution: int
+
+
+SCALES: dict[str, ExperimentScale] = {
+    "smoke": ExperimentScale(
+        name="smoke",
+        measurement_duration_s=10.0,
+        motivation_runs=1,
+        stage1_iterations=6,
+        stage1_initial_random=3,
+        stage1_parallel=2,
+        stage1_candidate_pool=300,
+        stage2_iterations=8,
+        stage2_initial_random=4,
+        stage2_parallel=2,
+        stage2_candidate_pool=300,
+        stage3_iterations=6,
+        stage3_offline_queries=2,
+        stage3_candidate_pool=300,
+        baseline_iterations=6,
+        dlda_grid_points=2,
+        dlda_selection_pool=500,
+        heatmap_resolution=3,
+    ),
+    "small": ExperimentScale(
+        name="small",
+        measurement_duration_s=20.0,
+        motivation_runs=2,
+        stage1_iterations=20,
+        stage1_initial_random=6,
+        stage1_parallel=3,
+        stage1_candidate_pool=800,
+        stage2_iterations=30,
+        stage2_initial_random=8,
+        stage2_parallel=3,
+        stage2_candidate_pool=800,
+        stage3_iterations=25,
+        stage3_offline_queries=10,
+        stage3_candidate_pool=800,
+        baseline_iterations=20,
+        dlda_grid_points=3,
+        dlda_selection_pool=2000,
+        heatmap_resolution=5,
+    ),
+    "paper": ExperimentScale(
+        name="paper",
+        measurement_duration_s=60.0,
+        motivation_runs=5,
+        stage1_iterations=500,
+        stage1_initial_random=100,
+        stage1_parallel=16,
+        stage1_candidate_pool=10_000,
+        stage2_iterations=1000,
+        stage2_initial_random=100,
+        stage2_parallel=16,
+        stage2_candidate_pool=10_000,
+        stage3_iterations=100,
+        stage3_offline_queries=20,
+        stage3_candidate_pool=10_000,
+        baseline_iterations=100,
+        dlda_grid_points=4,
+        dlda_selection_pool=10_000,
+        heatmap_resolution=5,
+    ),
+}
+
+
+def get_scale(name: str | None = None) -> ExperimentScale:
+    """Return the requested scale, or the one selected by ``ATLAS_BENCH_SCALE``."""
+    if name is None:
+        name = os.environ.get("ATLAS_BENCH_SCALE", "small")
+    lowered = name.lower()
+    if lowered not in SCALES:
+        raise ValueError(f"unknown scale {name!r}; expected one of {sorted(SCALES)}")
+    return SCALES[lowered]

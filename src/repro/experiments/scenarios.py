@@ -1,0 +1,80 @@
+"""Shared experiment setup: default SLA, deployed configuration and networks.
+
+Every evaluation experiment starts from the same prototype setup (Sec. 7):
+a single-user slice at 1 m UE–eNB distance running the frame-offloading
+application, an SLA of ``Y = 300 ms`` / ``E = 0.9``, and a mid-range deployed
+configuration used both for motivation measurements and for collecting the
+online dataset ``D_r``.
+"""
+
+from __future__ import annotations
+
+from repro.prototype.slice_manager import SLA
+from repro.prototype.testbed import RealNetwork
+from repro.sim.config import SliceConfig
+from repro.sim.network import NetworkSimulator
+from repro.sim.scenario import Scenario
+
+__all__ = [
+    "default_sla",
+    "default_scenario",
+    "default_deployed_config",
+    "make_simulator",
+    "make_real_network",
+    "collect_online_dataset",
+]
+
+
+def default_sla(threshold_ms: float = 300.0, availability: float = 0.9) -> SLA:
+    """The paper's default SLA: ``Y = 300 ms`` with availability ``E = 0.9``."""
+    return SLA(latency_threshold_ms=threshold_ms, availability=availability)
+
+
+def default_scenario(traffic: int = 1, **overrides) -> Scenario:
+    """The prototype scenario: one slice user at 1 m from the eNB."""
+    return Scenario(traffic=traffic, **overrides)
+
+
+def default_deployed_config() -> SliceConfig:
+    """The mid-range configuration deployed while collecting ``D_r``.
+
+    The paper collects its online dataset by logging the performance of the
+    currently deployed method; a balanced configuration (10 UL / 5 DL PRBs,
+    10 Mbps backhaul, 0.8 CPU) plays that role here.
+    """
+    return SliceConfig(
+        bandwidth_ul=10.0,
+        bandwidth_dl=5.0,
+        mcs_offset_ul=0.0,
+        mcs_offset_dl=0.0,
+        backhaul_bw=10.0,
+        cpu_ratio=0.8,
+    )
+
+
+def make_simulator(seed: int = 0, traffic: int = 1, **scenario_overrides) -> NetworkSimulator:
+    """The offline (original) simulator with default parameters."""
+    return NetworkSimulator(scenario=default_scenario(traffic, **scenario_overrides), seed=seed)
+
+
+def make_real_network(seed: int = 1, traffic: int = 1, **scenario_overrides) -> RealNetwork:
+    """The real-network testbed substitute with the default hidden ground truth."""
+    return RealNetwork(scenario=default_scenario(traffic, **scenario_overrides), seed=seed)
+
+
+def collect_online_dataset(
+    real_network: RealNetwork,
+    config: SliceConfig | None = None,
+    traffic: int = 1,
+    runs: int = 2,
+    duration_s: float = 30.0,
+):
+    """Build the online collection ``D_r`` by repeatedly measuring the deployed config."""
+    import numpy as np
+
+    config = config if config is not None else default_deployed_config()
+    collections = [
+        real_network.collect_latencies(config, traffic=traffic, duration=duration_s, seed=500 + run)
+        for run in range(runs)
+    ]
+    return np.concatenate(collections) if collections else np.zeros(0)

@@ -1,0 +1,45 @@
+"""Performance metrics used throughout the Atlas reproduction.
+
+The metrics mirror the quantities the paper reports:
+
+* ``kl`` — histogram-based KL-divergence between latency collections, the
+  sim-to-real discrepancy measure of stage 1 (Eq. 1).
+* ``qoe`` — the unified slice quality of experience, i.e. the probability
+  that the end-to-end latency stays below the SLA threshold (Eq. 6), and the
+  normalised resource-usage function ``F`` (Sec. 5.1).
+* ``regret`` — cumulative and average regret of resource usage and QoE
+  during online learning (Eqs. 10–11).
+* ``stats`` — empirical CDFs and summary statistics used by the motivation
+  and evaluation figures.
+"""
+
+from repro.metrics.kl import (
+    histogram_kl_divergence,
+    jensen_shannon_divergence,
+    symmetric_kl_divergence,
+)
+from repro.metrics.qoe import qoe_from_latencies, resource_usage
+from repro.metrics.regret import (
+    RegretTracker,
+    average_qoe_regret,
+    average_usage_regret,
+    cumulative_qoe_regret,
+    cumulative_usage_regret,
+)
+from repro.metrics.stats import LatencySummary, empirical_cdf, summarize_latencies
+
+__all__ = [
+    "histogram_kl_divergence",
+    "symmetric_kl_divergence",
+    "jensen_shannon_divergence",
+    "qoe_from_latencies",
+    "resource_usage",
+    "RegretTracker",
+    "cumulative_usage_regret",
+    "cumulative_qoe_regret",
+    "average_usage_regret",
+    "average_qoe_regret",
+    "empirical_cdf",
+    "summarize_latencies",
+    "LatencySummary",
+]

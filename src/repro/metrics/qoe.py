@@ -1,0 +1,56 @@
+"""Quality-of-experience and resource-usage metrics.
+
+Atlas unifies heterogeneous slice performance metrics into a single QoE value
+in ``[0, 1]``: the empirical probability that the slice performance (here,
+end-to-end frame latency) satisfies the SLA threshold ``Y`` (Eq. 6).  The
+resource-usage objective ``F`` is the normalised l1-norm of the configuration
+action (Sec. 5.1), i.e. the mean fraction of each resource dimension in use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["qoe_from_latencies", "resource_usage"]
+
+
+def qoe_from_latencies(latencies, threshold_ms: float) -> float:
+    """Return the fraction of latency samples at or below ``threshold_ms``.
+
+    Frames that were dropped (represented either as ``nan`` or ``inf``) count
+    against the QoE, exactly as an SLA violation would in the testbed.
+    An empty collection means the slice delivered nothing, hence QoE 0.
+    """
+    if threshold_ms <= 0:
+        raise ValueError(f"threshold_ms must be positive, got {threshold_ms}")
+    arr = np.asarray(latencies, dtype=float).ravel()
+    if arr.size == 0:
+        return 0.0
+    satisfied = np.sum(np.isfinite(arr) & (arr <= threshold_ms))
+    return float(satisfied / arr.size)
+
+
+def resource_usage(action, maximums) -> float:
+    """Normalised resource usage ``F = |a / A|_1 / dim`` in ``[0, 1]``.
+
+    Parameters
+    ----------
+    action:
+        Configuration action vector ``a`` (one entry per resource dimension).
+    maximums:
+        Maximum allowable configuration ``A`` per dimension (same length).
+
+    Returns
+    -------
+    float
+        Mean fraction of each resource in use; ``0.0`` means no resource is
+        allocated and ``1.0`` means every dimension is at its maximum.
+    """
+    a = np.asarray(action, dtype=float).ravel()
+    limit = np.asarray(maximums, dtype=float).ravel()
+    if a.shape != limit.shape:
+        raise ValueError(f"action shape {a.shape} does not match maximums shape {limit.shape}")
+    if np.any(limit <= 0):
+        raise ValueError("all resource maximums must be positive")
+    fractions = np.clip(a / limit, 0.0, 1.0)
+    return float(fractions.mean())

@@ -1,0 +1,121 @@
+"""Regret metrics for the online learning stage (Eqs. 10–11).
+
+The paper evaluates policy safety and sample efficiency through two regrets
+accumulated over the online iterations:
+
+* usage regret ``g_u(n) = sum_j [F(phi_j) - F(phi*)]`` — how much more
+  resource the learner used than the (unknown) optimal policy, and
+* QoE regret ``g_p(n) = sum_j max(Q(phi*) - Q(phi_j), 0)`` — how much QoE the
+  learner gave up, counting only shortfalls (exceeding the optimum is free).
+
+Table 5 reports the *average* regrets over 100 online iterations, which are
+the cumulative regrets divided by the number of iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "cumulative_usage_regret",
+    "cumulative_qoe_regret",
+    "average_usage_regret",
+    "average_qoe_regret",
+    "RegretTracker",
+]
+
+
+def cumulative_usage_regret(usages, optimal_usage: float) -> np.ndarray:
+    """Cumulative resource-usage regret ``g_u(n)`` for every iteration ``n``."""
+    arr = np.asarray(usages, dtype=float).ravel()
+    if arr.size == 0:
+        return np.zeros(0)
+    return np.cumsum(arr - optimal_usage)
+
+
+def cumulative_qoe_regret(qoes, optimal_qoe: float) -> np.ndarray:
+    """Cumulative QoE regret ``g_p(n)`` (only shortfalls are penalised)."""
+    arr = np.asarray(qoes, dtype=float).ravel()
+    if arr.size == 0:
+        return np.zeros(0)
+    return np.cumsum(np.maximum(optimal_qoe - arr, 0.0))
+
+
+def average_usage_regret(usages, optimal_usage: float) -> float:
+    """Average per-iteration usage regret, as reported in Table 5."""
+    arr = np.asarray(usages, dtype=float).ravel()
+    if arr.size == 0:
+        return 0.0
+    return float(np.mean(arr - optimal_usage))
+
+
+def average_qoe_regret(qoes, optimal_qoe: float) -> float:
+    """Average per-iteration QoE regret, as reported in Table 5."""
+    arr = np.asarray(qoes, dtype=float).ravel()
+    if arr.size == 0:
+        return 0.0
+    return float(np.mean(np.maximum(optimal_qoe - arr, 0.0)))
+
+
+@dataclass
+class RegretTracker:
+    """Accumulates per-iteration usage and QoE observations against an optimum.
+
+    The optimum ``(optimal_usage, optimal_qoe)`` is the best policy found in
+    hindsight (the paper uses the best policy observed within the 100 online
+    iterations).  The tracker can also be created without an optimum and
+    resolved later with :meth:`set_optimum_from_best`.
+    """
+
+    optimal_usage: float = 0.0
+    optimal_qoe: float = 1.0
+    qoe_requirement: float | None = None
+    usages: list[float] = field(default_factory=list)
+    qoes: list[float] = field(default_factory=list)
+
+    def record(self, usage: float, qoe: float) -> None:
+        """Record one online iteration's achieved resource usage and QoE."""
+        self.usages.append(float(usage))
+        self.qoes.append(float(qoe))
+
+    def __len__(self) -> int:
+        return len(self.usages)
+
+    def set_optimum_from_best(self) -> None:
+        """Use the best *feasible* recorded iteration as the hindsight optimum.
+
+        Feasible means the QoE requirement (if one is set) was met; if no
+        iteration is feasible, the iteration with the highest QoE is used.
+        """
+        if not self.usages:
+            raise ValueError("cannot derive an optimum from an empty tracker")
+        usages = np.asarray(self.usages)
+        qoes = np.asarray(self.qoes)
+        if self.qoe_requirement is not None:
+            feasible = qoes >= self.qoe_requirement
+        else:
+            feasible = np.ones_like(qoes, dtype=bool)
+        if feasible.any():
+            idx = int(np.flatnonzero(feasible)[np.argmin(usages[feasible])])
+        else:
+            idx = int(np.argmax(qoes))
+        self.optimal_usage = float(usages[idx])
+        self.optimal_qoe = float(qoes[idx])
+
+    def usage_regret(self) -> np.ndarray:
+        """Cumulative usage regret series ``g_u``."""
+        return cumulative_usage_regret(self.usages, self.optimal_usage)
+
+    def qoe_regret(self) -> np.ndarray:
+        """Cumulative QoE regret series ``g_p``."""
+        return cumulative_qoe_regret(self.qoes, self.optimal_qoe)
+
+    def average_usage_regret(self) -> float:
+        """Average per-iteration usage regret."""
+        return average_usage_regret(self.usages, self.optimal_usage)
+
+    def average_qoe_regret(self) -> float:
+        """Average per-iteration QoE regret."""
+        return average_qoe_regret(self.qoes, self.optimal_qoe)

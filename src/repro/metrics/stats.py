@@ -1,0 +1,88 @@
+"""Summary statistics and empirical CDF helpers for latency collections."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["empirical_cdf", "summarize_latencies", "LatencySummary"]
+
+
+def empirical_cdf(samples) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(values, probabilities)`` of the empirical CDF of ``samples``.
+
+    Non-finite samples (dropped frames) are excluded from the curve; the
+    probabilities therefore describe the distribution of delivered frames, as
+    the paper's CDF figures do.
+    """
+    arr = np.asarray(samples, dtype=float).ravel()
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        return np.zeros(0), np.zeros(0)
+    values = np.sort(arr)
+    probabilities = np.arange(1, values.size + 1, dtype=float) / values.size
+    return values, probabilities
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Descriptive statistics of one latency collection (milliseconds)."""
+
+    count: int
+    mean: float
+    std: float
+    median: float
+    p90: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+    drop_rate: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the summary as a plain dictionary (useful for reporting)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "median": self.median,
+            "p90": self.p90,
+            "p95": self.p95,
+            "p99": self.p99,
+            "min": self.minimum,
+            "max": self.maximum,
+            "drop_rate": self.drop_rate,
+        }
+
+
+def summarize_latencies(samples) -> LatencySummary:
+    """Summarise a latency collection, tracking dropped frames separately."""
+    arr = np.asarray(samples, dtype=float).ravel()
+    total = arr.size
+    delivered = arr[np.isfinite(arr)]
+    if delivered.size == 0:
+        return LatencySummary(
+            count=0,
+            mean=float("nan"),
+            std=float("nan"),
+            median=float("nan"),
+            p90=float("nan"),
+            p95=float("nan"),
+            p99=float("nan"),
+            minimum=float("nan"),
+            maximum=float("nan"),
+            drop_rate=1.0 if total else 0.0,
+        )
+    return LatencySummary(
+        count=int(delivered.size),
+        mean=float(delivered.mean()),
+        std=float(delivered.std()),
+        median=float(np.median(delivered)),
+        p90=float(np.percentile(delivered, 90)),
+        p95=float(np.percentile(delivered, 95)),
+        p99=float(np.percentile(delivered, 99)),
+        minimum=float(delivered.min()),
+        maximum=float(delivered.max()),
+        drop_rate=float((total - delivered.size) / total) if total else 0.0,
+    )

@@ -1,0 +1,183 @@
+"""Exact Gaussian-process regression.
+
+Mirrors the sklearn ``GaussianProcessRegressor`` configuration the paper
+uses for the online learning stage (Sec. 7.3): Matérn kernel with
+``nu = 2.5``, target normalisation, and marginal-likelihood hyper-parameter
+fitting.  The model stays small (hundreds of online transitions at most),
+so the O(n^3) Cholesky factorisation is not a concern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg, optimize
+
+from repro.models.kernels import ConstantKernel, Kernel, Matern52Kernel, ProductKernel
+from repro.models.scaler import StandardScaler
+
+__all__ = ["GaussianProcessRegressor"]
+
+
+class GaussianProcessRegressor:
+    """Gaussian-process regression with marginal-likelihood hyper-parameter fitting.
+
+    Parameters
+    ----------
+    kernel:
+        Covariance kernel; defaults to ``ConstantKernel() * Matern52Kernel()``
+        as in the paper.
+    noise:
+        Observation-noise variance added to the kernel diagonal (jitter plus
+        measurement noise).
+    normalize_y:
+        Standardise targets before fitting (the paper's setting).
+    optimize_hyperparameters:
+        Maximise the log marginal likelihood over the kernel's log
+        hyper-parameters with L-BFGS-B restarts.
+    n_restarts:
+        Number of random restarts for the hyper-parameter optimisation.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel | None = None,
+        noise: float = 1e-4,
+        normalize_y: bool = True,
+        optimize_hyperparameters: bool = True,
+        n_restarts: int = 2,
+        seed: int | None = None,
+    ) -> None:
+        if noise <= 0:
+            raise ValueError("noise must be positive")
+        self.kernel = kernel if kernel is not None else ProductKernel(ConstantKernel(1.0), Matern52Kernel(1.0))
+        self.noise = float(noise)
+        self.normalize_y = normalize_y
+        self.optimize_hyperparameters = optimize_hyperparameters
+        self.n_restarts = max(0, int(n_restarts))
+        self._rng = np.random.default_rng(seed)
+        self._x_train: np.ndarray | None = None
+        self._y_train: np.ndarray | None = None
+        self._y_scaler = StandardScaler()
+        self._cholesky: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self.log_marginal_likelihood_: float | None = None
+
+    # --------------------------------------------------------------- internals
+    def _neg_log_marginal_likelihood(self, log_params: np.ndarray) -> float:
+        self.kernel.set_log_params(log_params)
+        gram = self.kernel(self._x_train, self._x_train)
+        gram[np.diag_indices_from(gram)] += self.noise
+        try:
+            chol = linalg.cholesky(gram, lower=True)
+        except linalg.LinAlgError:
+            return 1e25
+        alpha = linalg.cho_solve((chol, True), self._y_train)
+        n = len(self._y_train)
+        lml = (
+            -0.5 * float(self._y_train @ alpha)
+            - float(np.sum(np.log(np.diag(chol))))
+            - 0.5 * n * np.log(2.0 * np.pi)
+        )
+        return -lml
+
+    def _fit_hyperparameters(self) -> None:
+        bounds = self.kernel.bounds()
+        best_params = self.kernel.get_log_params()
+        best_value = self._neg_log_marginal_likelihood(best_params)
+        starts = [best_params]
+        for _ in range(self.n_restarts):
+            starts.append(
+                np.array([self._rng.uniform(lo, hi) for lo, hi in bounds])
+            )
+        for start in starts:
+            result = optimize.minimize(
+                self._neg_log_marginal_likelihood,
+                start,
+                method="L-BFGS-B",
+                bounds=bounds,
+                options={"maxiter": 60},
+            )
+            if result.fun < best_value:
+                best_value = result.fun
+                best_params = result.x
+        self.kernel.set_log_params(best_params)
+        self.log_marginal_likelihood_ = -float(best_value)
+
+    def _factorize(self) -> None:
+        gram = self.kernel(self._x_train, self._x_train)
+        gram[np.diag_indices_from(gram)] += self.noise
+        self._cholesky = linalg.cholesky(gram, lower=True)
+        self._alpha = linalg.cho_solve((self._cholesky, True), self._y_train)
+
+    # -------------------------------------------------------------------- API
+    def fit(self, inputs, targets) -> "GaussianProcessRegressor":
+        """Fit the GP to ``(inputs, targets)``."""
+        x = np.atleast_2d(np.asarray(inputs, dtype=float))
+        y = np.asarray(targets, dtype=float).ravel()
+        if len(x) != len(y):
+            raise ValueError("inputs and targets have mismatched lengths")
+        if len(x) == 0:
+            raise ValueError("cannot fit a GP on an empty dataset")
+        self._x_train = x
+        if self.normalize_y:
+            self._y_scaler.fit(y.reshape(-1, 1))
+            self._y_train = self._y_scaler.transform(y.reshape(-1, 1)).ravel()
+        else:
+            self._y_train = y
+        if self.optimize_hyperparameters and len(x) >= 3:
+            self._fit_hyperparameters()
+        self._factorize()
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._alpha is not None
+
+    def predict(self, inputs, return_std: bool = False):
+        """Posterior predictive mean (and optionally standard deviation)."""
+        x = np.atleast_2d(np.asarray(inputs, dtype=float))
+        if not self.is_fitted:
+            # An unfitted GP is the prior: zero mean, unit variance.
+            mean = np.zeros(len(x))
+            if return_std:
+                return mean, np.ones(len(x))
+            return mean
+        cross = self.kernel(x, self._x_train)
+        mean_std_units = cross @ self._alpha
+        if self.normalize_y:
+            mean = self._y_scaler.inverse_transform(mean_std_units.reshape(-1, 1)).ravel()
+        else:
+            mean = mean_std_units
+        if not return_std:
+            return mean
+        solved = linalg.solve_triangular(self._cholesky, cross.T, lower=True)
+        variance = self.kernel.diag(x) + self.noise - np.sum(solved**2, axis=0)
+        variance = np.maximum(variance, 1e-12)
+        std = np.sqrt(variance)
+        if self.normalize_y:
+            std = self._y_scaler.inverse_transform_std(std.reshape(-1, 1)).ravel()
+        return mean, std
+
+    def sample_y(self, inputs, n_samples: int = 1, seed: int | None = None) -> np.ndarray:
+        """Draw joint posterior function samples at ``inputs``.
+
+        Returns an array of shape ``(n_samples, len(inputs))``; used for
+        Thompson sampling with GP surrogates.
+        """
+        x = np.atleast_2d(np.asarray(inputs, dtype=float))
+        rng = np.random.default_rng(seed) if seed is not None else self._rng
+        if not self.is_fitted:
+            cov = self.kernel(x, x) + self.noise * np.eye(len(x))
+            mean = np.zeros(len(x))
+        else:
+            cross = self.kernel(x, self._x_train)
+            mean = cross @ self._alpha
+            solved = linalg.solve_triangular(self._cholesky, cross.T, lower=True)
+            cov = self.kernel(x, x) + self.noise * np.eye(len(x)) - solved.T @ solved
+        cov = 0.5 * (cov + cov.T)
+        cov[np.diag_indices_from(cov)] += 1e-8
+        draws = rng.multivariate_normal(mean, cov, size=n_samples)
+        if self.is_fitted and self.normalize_y:
+            draws = self._y_scaler.inverse_transform(draws.reshape(-1, 1)).reshape(n_samples, -1)
+        return draws

@@ -1,0 +1,92 @@
+"""Gradient-descent optimisers shared by the MLP and BNN implementations.
+
+The paper uses Adadelta with a StepLR schedule; both Adam and Adadelta are
+provided here and either can be selected when constructing a model.  The
+optimisers operate on flat lists of numpy parameter arrays, which is how the
+manual-backprop models store their weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["AdamOptimizer", "AdadeltaOptimizer", "make_optimizer"]
+
+
+class AdamOptimizer:
+    """Adam optimiser over a list of numpy parameter arrays."""
+
+    def __init__(
+        self,
+        parameters: list[np.ndarray],
+        learning_rate: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        self.parameters = parameters
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m = [np.zeros_like(p) for p in parameters]
+        self._v = [np.zeros_like(p) for p in parameters]
+        self._step = 0
+
+    def step(self, gradients: list[np.ndarray]) -> None:
+        """Apply one in-place update from ``gradients`` (same order as parameters)."""
+        if len(gradients) != len(self.parameters):
+            raise ValueError("gradient list length does not match parameter list length")
+        self._step += 1
+        bias1 = 1.0 - self.beta1**self._step
+        bias2 = 1.0 - self.beta2**self._step
+        for param, grad, m, v in zip(self.parameters, gradients, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+class AdadeltaOptimizer:
+    """Adadelta optimiser (the optimiser used in the paper's implementation)."""
+
+    def __init__(
+        self,
+        parameters: list[np.ndarray],
+        learning_rate: float = 1.0,
+        rho: float = 0.9,
+        epsilon: float = 1e-6,
+    ) -> None:
+        self.parameters = parameters
+        self.learning_rate = learning_rate
+        self.rho = rho
+        self.epsilon = epsilon
+        self._avg_sq_grad = [np.zeros_like(p) for p in parameters]
+        self._avg_sq_delta = [np.zeros_like(p) for p in parameters]
+
+    def step(self, gradients: list[np.ndarray]) -> None:
+        """Apply one in-place update from ``gradients`` (same order as parameters)."""
+        if len(gradients) != len(self.parameters):
+            raise ValueError("gradient list length does not match parameter list length")
+        for param, grad, sq_grad, sq_delta in zip(
+            self.parameters, gradients, self._avg_sq_grad, self._avg_sq_delta
+        ):
+            sq_grad *= self.rho
+            sq_grad += (1.0 - self.rho) * grad * grad
+            delta = grad * np.sqrt(sq_delta + self.epsilon) / np.sqrt(sq_grad + self.epsilon)
+            sq_delta *= self.rho
+            sq_delta += (1.0 - self.rho) * delta * delta
+            param -= self.learning_rate * delta
+
+
+def make_optimizer(name: str, parameters: list[np.ndarray], learning_rate: float):
+    """Construct an optimiser by name (``"adam"`` or ``"adadelta"``)."""
+    lowered = name.lower()
+    if lowered == "adam":
+        return AdamOptimizer(parameters, learning_rate=learning_rate)
+    if lowered == "adadelta":
+        return AdadeltaOptimizer(parameters, learning_rate=learning_rate)
+    raise ValueError(f"unknown optimizer {name!r}; expected 'adam' or 'adadelta'")

@@ -1,0 +1,141 @@
+"""Per-domain configuration managers of the end-to-end prototype.
+
+The paper develops four domain managers (Sec. 7.1): a radio manager built on
+FlexRAN (per-slice PRB allocation and MCS offsets), a transport manager using
+OpenFlow meters, a core manager mapping users to per-slice SPGW-U containers
+and an edge manager driving ``docker update --cpus``.  Here each manager
+validates its slice of the 6-dimensional configuration, quantises it to what
+the underlying knob actually supports (integer PRBs, discrete meter rates,
+Docker CPU quotas) and records the applied values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.config import (
+    CONFIG_BOUNDS,
+    MIN_DOWNLINK_PRBS,
+    MIN_UPLINK_PRBS,
+    SliceConfig,
+)
+
+__all__ = [
+    "AppliedConfiguration",
+    "RadioDomainManager",
+    "TransportDomainManager",
+    "CoreDomainManager",
+    "EdgeDomainManager",
+    "EndToEndOrchestrator",
+]
+
+
+@dataclass(frozen=True)
+class AppliedConfiguration:
+    """The cross-domain configuration actually enforced by the managers."""
+
+    requested: SliceConfig
+    applied: SliceConfig
+    notes: tuple[str, ...] = ()
+
+
+class RadioDomainManager:
+    """FlexRAN-style PRB allocation and MCS-offset control."""
+
+    total_prbs = 50
+
+    def apply(self, config: SliceConfig) -> tuple[dict[str, float], list[str]]:
+        """Quantise and clamp the radio part of ``config``; return applied values and notes."""
+        notes: list[str] = []
+        ul = int(round(np.clip(config.bandwidth_ul, 0, self.total_prbs)))
+        dl = int(round(np.clip(config.bandwidth_dl, 0, self.total_prbs)))
+        if ul < MIN_UPLINK_PRBS:
+            notes.append(f"uplink PRBs raised to the connectivity minimum ({MIN_UPLINK_PRBS})")
+            ul = MIN_UPLINK_PRBS
+        if dl < MIN_DOWNLINK_PRBS:
+            notes.append(f"downlink PRBs raised to the connectivity minimum ({MIN_DOWNLINK_PRBS})")
+            dl = MIN_DOWNLINK_PRBS
+        mcs_ul = int(round(np.clip(config.mcs_offset_ul, *CONFIG_BOUNDS["mcs_offset_ul"])))
+        mcs_dl = int(round(np.clip(config.mcs_offset_dl, *CONFIG_BOUNDS["mcs_offset_dl"])))
+        return (
+            {
+                "bandwidth_ul": float(ul),
+                "bandwidth_dl": float(dl),
+                "mcs_offset_ul": float(mcs_ul),
+                "mcs_offset_dl": float(mcs_dl),
+            },
+            notes,
+        )
+
+
+class TransportDomainManager:
+    """OpenFlow-meter bandwidth control on the SDN switch."""
+
+    #: Granularity (Mbps) of the switch's meter bands.
+    meter_granularity_mbps = 0.1
+
+    def apply(self, config: SliceConfig) -> tuple[dict[str, float], list[str]]:
+        """Quantise the backhaul bandwidth to the meter granularity."""
+        lo, hi = CONFIG_BOUNDS["backhaul_bw"]
+        rate = float(np.clip(config.backhaul_bw, lo, hi))
+        quantised = round(rate / self.meter_granularity_mbps) * self.meter_granularity_mbps
+        notes: list[str] = []
+        if abs(quantised - rate) > 1e-9:
+            notes.append(f"backhaul bandwidth quantised to {quantised:.1f} Mbps")
+        return {"backhaul_bw": quantised}, notes
+
+
+class CoreDomainManager:
+    """Maps slice users to their dedicated SPGW-U container.
+
+    The data-plane mapping has no tunable quantity in the configuration
+    vector; applying it simply records that the slice's SPGW-U is in place.
+    """
+
+    def apply(self, config: SliceConfig) -> tuple[dict[str, float], list[str]]:
+        """The core domain carries no tunable knob; it validates and acknowledges."""
+        return {}, []
+
+
+class EdgeDomainManager:
+    """Docker ``--cpus`` control of the slice's edge server."""
+
+    #: Docker accepts CPU quotas in units of 1% of a core.
+    cpu_granularity = 0.01
+    minimum_cpu_ratio = 0.05
+
+    def apply(self, config: SliceConfig) -> tuple[dict[str, float], list[str]]:
+        """Quantise and floor the CPU ratio the container will receive."""
+        notes: list[str] = []
+        ratio = float(np.clip(config.cpu_ratio, 0.0, 1.0))
+        if ratio < self.minimum_cpu_ratio:
+            notes.append(f"cpu ratio raised to the container minimum ({self.minimum_cpu_ratio})")
+            ratio = self.minimum_cpu_ratio
+        quantised = round(ratio / self.cpu_granularity) * self.cpu_granularity
+        return {"cpu_ratio": float(quantised)}, notes
+
+
+@dataclass
+class EndToEndOrchestrator:
+    """Applies one configuration action across all four domains atomically."""
+
+    radio: RadioDomainManager = field(default_factory=RadioDomainManager)
+    transport: TransportDomainManager = field(default_factory=TransportDomainManager)
+    core: CoreDomainManager = field(default_factory=CoreDomainManager)
+    edge: EdgeDomainManager = field(default_factory=EdgeDomainManager)
+    history: list[AppliedConfiguration] = field(default_factory=list)
+
+    def apply(self, config: SliceConfig) -> AppliedConfiguration:
+        """Validate/quantise ``config`` in every domain and record the result."""
+        applied_values: dict[str, float] = {}
+        notes: list[str] = []
+        for manager in (self.radio, self.transport, self.core, self.edge):
+            values, manager_notes = manager.apply(config)
+            applied_values.update(values)
+            notes.extend(manager_notes)
+        applied = config.replace(**applied_values)
+        record = AppliedConfiguration(requested=config, applied=applied, notes=tuple(notes))
+        self.history.append(record)
+        return record

@@ -1,0 +1,124 @@
+"""Slice lifecycle management: SLAs, admission and background users.
+
+A slice tenant signs a service-level agreement specifying the latency
+threshold ``Y`` and the availability ``E`` (the minimum probability that the
+threshold is met, Eq. 6).  The slice manager admits/removes slices on the
+real network, attaches background users for the isolation experiment of
+Fig. 11, and measures the QoE of an admitted slice against its SLA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.qoe import qoe_from_latencies
+from repro.prototype.testbed import RealNetwork
+from repro.sim.config import SliceConfig
+
+__all__ = ["SLA", "NetworkSlice", "SliceManager"]
+
+
+@dataclass(frozen=True)
+class SLA:
+    """Service-level agreement of one slice.
+
+    Attributes
+    ----------
+    latency_threshold_ms:
+        Performance threshold ``Y``: a frame meets the SLA if its end-to-end
+        latency is at or below this value (the paper uses 300 ms by default).
+    availability:
+        Required probability ``E`` that the threshold is met (0.9 by default).
+    """
+
+    latency_threshold_ms: float = 300.0
+    availability: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.latency_threshold_ms <= 0:
+            raise ValueError("latency_threshold_ms must be positive")
+        if not 0.0 < self.availability <= 1.0:
+            raise ValueError("availability must be in (0, 1]")
+
+    def is_satisfied_by(self, qoe: float) -> bool:
+        """Whether a measured QoE value meets the agreed availability."""
+        return qoe >= self.availability
+
+
+@dataclass
+class NetworkSlice:
+    """An admitted end-to-end slice: its SLA and current configuration."""
+
+    name: str
+    sla: SLA
+    config: SliceConfig = field(default_factory=SliceConfig)
+    traffic: int = 1
+
+    def qoe(self, latencies) -> float:
+        """QoE of a latency collection against this slice's SLA threshold."""
+        return qoe_from_latencies(latencies, self.sla.latency_threshold_ms)
+
+
+class SliceManager:
+    """Admits slices on the real network and measures them against their SLAs."""
+
+    def __init__(self, network: RealNetwork) -> None:
+        self.network = network
+        self._slices: dict[str, NetworkSlice] = {}
+        self._background_users = 0
+
+    # --------------------------------------------------------------- lifecycle
+    def admit(self, slice_: NetworkSlice) -> None:
+        """Admit a new slice; raises if a slice with the same name exists."""
+        if slice_.name in self._slices:
+            raise ValueError(f"slice {slice_.name!r} already admitted")
+        self._slices[slice_.name] = slice_
+
+    def remove(self, name: str) -> NetworkSlice:
+        """Remove a slice by name and return it."""
+        if name not in self._slices:
+            raise KeyError(f"no slice named {name!r}")
+        return self._slices.pop(name)
+
+    def get(self, name: str) -> NetworkSlice:
+        """Look up an admitted slice by name."""
+        if name not in self._slices:
+            raise KeyError(f"no slice named {name!r}")
+        return self._slices[name]
+
+    @property
+    def slices(self) -> tuple[NetworkSlice, ...]:
+        """All currently admitted slices."""
+        return tuple(self._slices.values())
+
+    # ------------------------------------------------------- background users
+    def attach_background_users(self, count: int) -> None:
+        """Attach ``count`` best-effort users outside any slice (Fig. 11)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._background_users = count
+
+    @property
+    def background_users(self) -> int:
+        """Number of currently attached background users."""
+        return self._background_users
+
+    # ------------------------------------------------------------ measurement
+    def configure(self, name: str, config: SliceConfig) -> None:
+        """Update the stored configuration of an admitted slice."""
+        self.get(name).config = config
+
+    def measure_slice(self, name: str, duration: float | None = None, seed: int | None = None):
+        """Measure one slice under its stored configuration and traffic.
+
+        Returns ``(result, qoe, sla_met)`` where ``result`` is the full
+        :class:`~repro.sim.network.SimulationResult`.
+        """
+        slice_ = self.get(name)
+        scenario = self.network.scenario.replace(
+            traffic=slice_.traffic, extra_users=self._background_users
+        )
+        network = self.network.with_scenario(scenario)
+        result = network.measure(slice_.config, duration=duration, seed=seed)
+        qoe = result.qoe(slice_.sla.latency_threshold_ms)
+        return result, qoe, slice_.sla.is_satisfied_by(qoe)

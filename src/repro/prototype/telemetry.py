@@ -1,0 +1,131 @@
+"""Telemetry: the online collection ``D_r`` and per-iteration performance logs.
+
+Stage 1 needs a collection of slice performance samples measured on the real
+network under the currently deployed configuration (``D_r`` in Eq. 1); the
+paper stresses that this should impose minimal collection effort, e.g. by
+logging what the deployed method already achieves.  Stage 3 additionally logs
+the per-iteration resource usage and QoE so the regret metrics and the
+training-progress figures can be produced.  Both records can be saved to and
+loaded from JSON (the artifact uses pickle; JSON keeps the files readable).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.sim.config import SliceConfig
+
+__all__ = ["OnlineCollection", "IterationRecord", "PerformanceLog"]
+
+
+class OnlineCollection:
+    """Accumulates latency samples measured on the real network (``D_r``)."""
+
+    def __init__(self, samples=None) -> None:
+        self._samples: list[float] = []
+        if samples is not None:
+            self.extend(samples)
+
+    def extend(self, latencies) -> None:
+        """Add a batch of latency samples (non-finite values are dropped)."""
+        arr = np.asarray(latencies, dtype=float).ravel()
+        self._samples.extend(float(v) for v in arr[np.isfinite(arr)])
+
+    def samples(self) -> np.ndarray:
+        """All collected samples as an array."""
+        return np.asarray(self._samples, dtype=float)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __bool__(self) -> bool:
+        return bool(self._samples)
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path) -> None:
+        """Write the collection to a JSON file."""
+        Path(path).write_text(json.dumps({"latencies_ms": self._samples}))
+
+    @classmethod
+    def load(cls, path) -> "OnlineCollection":
+        """Read a collection previously written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        return cls(payload["latencies_ms"])
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One learning iteration: the action taken and what it achieved."""
+
+    iteration: int
+    config: tuple[float, ...]
+    resource_usage: float
+    qoe: float
+    mean_latency_ms: float
+    stage: str = "online"
+
+    def to_slice_config(self) -> SliceConfig:
+        """Rebuild the :class:`SliceConfig` of this iteration."""
+        return SliceConfig.from_array(np.asarray(self.config))
+
+
+class PerformanceLog:
+    """Ordered log of :class:`IterationRecord` entries with JSON persistence."""
+
+    def __init__(self) -> None:
+        self._records: list[IterationRecord] = []
+
+    def record(
+        self,
+        iteration: int,
+        config: SliceConfig,
+        resource_usage: float,
+        qoe: float,
+        mean_latency_ms: float,
+        stage: str = "online",
+    ) -> IterationRecord:
+        """Append one iteration record and return it."""
+        entry = IterationRecord(
+            iteration=int(iteration),
+            config=tuple(float(v) for v in config.to_array()),
+            resource_usage=float(resource_usage),
+            qoe=float(qoe),
+            mean_latency_ms=float(mean_latency_ms),
+            stage=stage,
+        )
+        self._records.append(entry)
+        return entry
+
+    @property
+    def records(self) -> tuple[IterationRecord, ...]:
+        """All records in insertion order."""
+        return tuple(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def usages(self) -> np.ndarray:
+        """Resource usage of every iteration, in order."""
+        return np.array([r.resource_usage for r in self._records], dtype=float)
+
+    def qoes(self) -> np.ndarray:
+        """QoE of every iteration, in order."""
+        return np.array([r.qoe for r in self._records], dtype=float)
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path) -> None:
+        """Write the log to a JSON file."""
+        Path(path).write_text(json.dumps([asdict(r) for r in self._records]))
+
+    @classmethod
+    def load(cls, path) -> "PerformanceLog":
+        """Read a log previously written by :meth:`save`."""
+        log = cls()
+        for item in json.loads(Path(path).read_text()):
+            item["config"] = tuple(item["config"])
+            log._records.append(IterationRecord(**item))
+        return log

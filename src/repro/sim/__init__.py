@@ -1,0 +1,38 @@
+"""Discrete-event network simulator substrate (the NS-3 stand-in).
+
+The paper's stage 1 and stage 2 interact with an NS-3/LENA LTE simulator; in
+this reproduction the simulator is implemented natively in Python on top of a
+small discrete-event engine.  It models the same end-to-end path as the
+paper's prototype (Sec. 7): an LTE radio access network with per-slice PRB
+allocation, a point-to-point transport/backhaul link, an EPC core forwarding
+stage, and a queue-based edge-compute server executing the frame-offloading
+application.
+
+The simulator is fully parameterised by
+
+* the 6-dimensional slice configuration of Table 2
+  (:class:`repro.sim.config.SliceConfig`), and
+* the 7-dimensional simulation-parameter vector of Table 3
+  (:class:`repro.sim.parameters.SimulationParameters`),
+
+which is exactly the interface Atlas' three stages need.
+"""
+
+from repro.sim.application import FrameRecord, OffloadingApplication
+from repro.sim.config import SliceConfig
+from repro.sim.events import EventScheduler, FifoServer
+from repro.sim.network import NetworkSimulator, SimulationResult
+from repro.sim.parameters import SimulationParameters
+from repro.sim.scenario import Scenario
+
+__all__ = [
+    "EventScheduler",
+    "FifoServer",
+    "SliceConfig",
+    "SimulationParameters",
+    "Scenario",
+    "NetworkSimulator",
+    "SimulationResult",
+    "OffloadingApplication",
+    "FrameRecord",
+]

@@ -1,0 +1,117 @@
+"""Radio channel models: pathloss, shadowing/fading and SINR computation.
+
+The simulator mirrors the NS-3 setup described in Sec. 7.2 of the paper: a
+``LogDistancePropagationLossModel`` with a configurable reference loss (the
+``baseline_loss`` simulation parameter) and no fading model; the real-network
+substitute adds log-normal shadowing and occasional deep fades that the
+simulator's parameter search cannot fully express — this is one source of the
+residual sim-to-real discrepancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "LogDistancePathloss",
+    "ShadowFading",
+    "thermal_noise_dbm",
+    "sinr_db",
+    "PRB_BANDWIDTH_HZ",
+]
+
+#: Bandwidth of one LTE physical resource block.
+PRB_BANDWIDTH_HZ = 180e3
+
+#: Thermal noise power spectral density at room temperature.
+_THERMAL_NOISE_DBM_PER_HZ = -174.0
+
+
+@dataclass(frozen=True)
+class LogDistancePathloss:
+    """Log-distance pathloss: ``PL(d) = L0 + 10 * n * log10(d / d0)`` in dB.
+
+    ``L0`` is the reference loss at distance ``d0`` (1 metre by default, which
+    is also the UE–eNB distance of the paper's prototype), and ``n`` the
+    pathloss exponent.
+    """
+
+    reference_loss_db: float = 38.57
+    exponent: float = 3.0
+    reference_distance_m: float = 1.0
+
+    def loss_db(self, distance_m: float) -> float:
+        """Pathloss in dB at ``distance_m`` metres."""
+        if distance_m <= 0:
+            raise ValueError(f"distance must be positive, got {distance_m}")
+        distance = max(distance_m, self.reference_distance_m)
+        return self.reference_loss_db + 10.0 * self.exponent * np.log10(
+            distance / self.reference_distance_m
+        )
+
+
+class ShadowFading:
+    """Log-normal shadowing plus occasional deep fades.
+
+    The NS-3 configuration in the paper uses *no* fading model; the real
+    network, of course, has one.  ``std_db = 0`` therefore reproduces the
+    simulator behaviour, while the real-network substitute uses a non-zero
+    standard deviation and a small deep-fade probability.
+    """
+
+    def __init__(
+        self,
+        std_db: float = 0.0,
+        deep_fade_probability: float = 0.0,
+        deep_fade_db: float = 10.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if std_db < 0:
+            raise ValueError("std_db must be non-negative")
+        if not 0.0 <= deep_fade_probability <= 1.0:
+            raise ValueError("deep_fade_probability must be in [0, 1]")
+        self.std_db = std_db
+        self.deep_fade_probability = deep_fade_probability
+        self.deep_fade_db = deep_fade_db
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def sample_db(self) -> float:
+        """Draw one fading realisation in dB (positive values are extra loss)."""
+        fade = self._rng.normal(0.0, self.std_db) if self.std_db > 0 else 0.0
+        if self.deep_fade_probability > 0 and self._rng.random() < self.deep_fade_probability:
+            fade += self.deep_fade_db
+        return float(fade)
+
+
+def thermal_noise_dbm(bandwidth_hz: float, noise_figure_db: float) -> float:
+    """Receiver noise floor in dBm over ``bandwidth_hz`` with the given noise figure."""
+    if bandwidth_hz <= 0:
+        raise ValueError("bandwidth must be positive")
+    return _THERMAL_NOISE_DBM_PER_HZ + 10.0 * np.log10(bandwidth_hz) + noise_figure_db
+
+
+def sinr_db(
+    tx_power_dbm: float,
+    pathloss_db: float,
+    fading_db: float,
+    bandwidth_hz: float,
+    noise_figure_db: float,
+    interference_dbm: float | None = None,
+) -> float:
+    """Signal-to-interference-plus-noise ratio in dB.
+
+    Interference is optional; the prototype isolates slices so intra-cell
+    interference is negligible, but background load can be injected through
+    ``interference_dbm`` for the isolation experiments (Fig. 11).
+    """
+    received_dbm = tx_power_dbm - pathloss_db - fading_db
+    noise_dbm = thermal_noise_dbm(bandwidth_hz, noise_figure_db)
+    if interference_dbm is None:
+        total_noise_dbm = noise_dbm
+    else:
+        noise_mw = 10.0 ** (noise_dbm / 10.0)
+        interference_mw = 10.0 ** (interference_dbm / 10.0)
+        total_noise_dbm = 10.0 * np.log10(noise_mw + interference_mw)
+    return float(received_dbm - total_noise_dbm)

@@ -1,0 +1,55 @@
+"""Core network (EPC) model.
+
+The prototype runs OpenAir-CN with CUPS: HSS/MME on the control plane and a
+dedicated SPGW-U container per slice on the data plane.  On the data path a
+frame only traverses GTP encapsulation and forwarding in the slice's SPGW-U,
+which is modelled as a fast FIFO forwarding stage with a small per-packet
+processing time and jitter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.events import EventScheduler, FifoServer
+
+__all__ = ["CoreNetwork", "BASE_FORWARDING_DELAY_MS"]
+
+#: Mean per-packet GTP forwarding delay of the SPGW-U container.
+BASE_FORWARDING_DELAY_MS = 1.0
+
+
+class CoreNetwork:
+    """Per-slice SPGW-U forwarding stage (uplink and downlink)."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        rng: np.random.Generator | None = None,
+        forwarding_delay_ms: float = BASE_FORWARDING_DELAY_MS,
+        jitter_ms: float = 0.2,
+        per_packet_processing_ms: float = 0.1,
+    ) -> None:
+        if forwarding_delay_ms < 0 or jitter_ms < 0 or per_packet_processing_ms < 0:
+            raise ValueError("core-network delays must be non-negative")
+        self.scheduler = scheduler
+        self.forwarding_delay_ms = forwarding_delay_ms
+        self.jitter_ms = jitter_ms
+        self.per_packet_processing_ms = per_packet_processing_ms
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.uplink_server = FifoServer(
+            scheduler,
+            lambda frame: self.per_packet_processing_ms / 1e3,
+            post_delay_fn=lambda frame: self._forwarding_delay_s(),
+            name="core-uplink",
+        )
+        self.downlink_server = FifoServer(
+            scheduler,
+            lambda frame: self.per_packet_processing_ms / 1e3,
+            post_delay_fn=lambda frame: self._forwarding_delay_s(),
+            name="core-downlink",
+        )
+
+    def _forwarding_delay_s(self) -> float:
+        jitter = abs(self._rng.normal(0.0, self.jitter_ms)) if self.jitter_ms > 0 else 0.0
+        return (self.forwarding_delay_ms + jitter) / 1e3

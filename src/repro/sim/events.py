@@ -1,0 +1,161 @@
+"""Minimal discrete-event simulation engine.
+
+The engine provides an event calendar (:class:`EventScheduler`) and a generic
+work-conserving FIFO server (:class:`FifoServer`) from which every stage of
+the end-to-end slice path (radio uplink, backhaul, core forwarding, edge
+compute, radio downlink) is built.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["EventScheduler", "FifoServer"]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventScheduler:
+    """Event calendar with a simulation clock.
+
+    Events scheduled for the same instant fire in insertion order, which makes
+    runs fully deterministic for a given random seed.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[_Event] = []
+        self._sequence = 0
+        self.now = 0.0
+        self._processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> _Event:
+        """Schedule ``callback`` to run ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> _Event:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule an event in the past (time={time}, now={self.now})")
+        event = _Event(time=time, sequence=self._sequence, callback=callback)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    @staticmethod
+    def cancel(event: _Event) -> None:
+        """Mark an event as cancelled; it will be skipped when it comes up."""
+        event.cancelled = True
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the calendar (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def run(self, until: float | None = None) -> None:
+        """Execute events in time order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time (events scheduled later
+            remain in the calendar).  ``None`` drains the calendar completely.
+        """
+        while self._queue:
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                self.now = until
+                return
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._processed += 1
+            event.callback()
+        if until is not None and until > self.now:
+            self.now = until
+
+
+class FifoServer:
+    """Single work-conserving FIFO server over the event scheduler.
+
+    Each submitted job occupies the server for a service time returned by
+    ``service_time_fn(job)``; the completion callback fires after the service
+    time plus an optional per-job ``post_delay_fn(job)`` (e.g. propagation
+    delay that does not block the next job from being served).
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        service_time_fn: Callable[[Any], float],
+        post_delay_fn: Callable[[Any], float] | None = None,
+        name: str = "server",
+    ) -> None:
+        self.scheduler = scheduler
+        self.service_time_fn = service_time_fn
+        self.post_delay_fn = post_delay_fn
+        self.name = name
+        self._queue: deque[tuple[Any, Callable[[Any], None]]] = deque()
+        self._busy = False
+        self.busy_time = 0.0
+        self.jobs_served = 0
+
+    @property
+    def queue_length(self) -> int:
+        """Number of jobs waiting (not counting the one in service)."""
+        return len(self._queue)
+
+    @property
+    def is_busy(self) -> bool:
+        """Whether a job is currently in service."""
+        return self._busy
+
+    def submit(self, job: Any, on_complete: Callable[[Any], None]) -> None:
+        """Enqueue ``job``; ``on_complete(job)`` fires when it leaves the server."""
+        self._queue.append((job, on_complete))
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        job, on_complete = self._queue.popleft()
+        service_time = max(0.0, float(self.service_time_fn(job)))
+        self.busy_time += service_time
+        post_delay = 0.0
+        if self.post_delay_fn is not None:
+            post_delay = max(0.0, float(self.post_delay_fn(job)))
+
+        def _finish_service() -> None:
+            self.jobs_served += 1
+            if post_delay > 0:
+                self.scheduler.schedule(post_delay, lambda: on_complete(job))
+            else:
+                on_complete(job)
+            self._start_next()
+
+        self.scheduler.schedule(service_time, _finish_service)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds the server spent serving jobs."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)

@@ -1,0 +1,83 @@
+"""Un-modelled real-world effects.
+
+The sim-to-real discrepancy in the paper is "non-trivial and uneven"
+(Sec. 2): part of it can be absorbed by better simulation parameters
+(stage 1), part of it cannot and must be learned online (stage 3).  The
+real-network substitute of this reproduction therefore runs the same
+discrete-event engine as the simulator but with an additional set of effects
+the 7 searchable parameters cannot express: shadow fading and deep fades,
+heavier-tailed compute jitter, protocol/processing overheads that scale with
+load, occasional latency spikes, and throughput derating from imperfect
+open-source implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["Imperfections"]
+
+
+@dataclass(frozen=True)
+class Imperfections:
+    """Additional effects applied on top of the parameterised simulator.
+
+    All defaults are neutral (no effect), which is the behaviour of the ideal
+    simulator; the real-network substitute overrides them.
+    """
+
+    #: Log-normal shadow-fading standard deviation (dB).
+    fading_std_db: float = 0.0
+    #: Probability that a frame experiences a deep fade.
+    deep_fade_probability: float = 0.0
+    #: Extra loss (dB) applied during a deep fade.
+    deep_fade_db: float = 8.0
+    #: Multiplier on the compute-time standard deviation (bursty CPU contention).
+    compute_jitter_scale: float = 1.0
+    #: Multiplier on the mean compute time (container/co-location overhead that
+    #: compounds with queueing at high traffic).
+    compute_slowdown: float = 1.0
+    #: Probability that a frame hits a latency spike (GC pause, scheduler stall...).
+    spike_probability: float = 0.0
+    #: Range (ms) of the latency spike, sampled uniformly.
+    spike_ms_range: tuple[float, float] = (50.0, 250.0)
+    #: Multiplicative derating of the achievable uplink radio rate.
+    ul_rate_derate: float = 1.0
+    #: Multiplicative derating of the achievable downlink radio rate.
+    dl_rate_derate: float = 1.0
+    #: Multiplier on the residual block-error floor (imperfect HARQ/RF chain).
+    error_floor_scale: float = 1.0
+    #: Per-frame protocol/processing overhead (ms) that the simulator omits.
+    per_frame_overhead_ms: float = 0.0
+    #: Overhead (ms) added per in-flight frame (contention grows with traffic).
+    per_traffic_overhead_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.fading_std_db < 0:
+            raise ValueError("fading_std_db must be non-negative")
+        if not 0.0 <= self.deep_fade_probability <= 1.0:
+            raise ValueError("deep_fade_probability must be in [0, 1]")
+        if not 0.0 <= self.spike_probability <= 1.0:
+            raise ValueError("spike_probability must be in [0, 1]")
+        if self.compute_jitter_scale <= 0:
+            raise ValueError("compute_jitter_scale must be positive")
+        if self.compute_slowdown <= 0:
+            raise ValueError("compute_slowdown must be positive")
+        if not 0.0 < self.ul_rate_derate <= 1.5 or not 0.0 < self.dl_rate_derate <= 1.5:
+            raise ValueError("rate derates must be in (0, 1.5]")
+        if self.error_floor_scale < 0:
+            raise ValueError("error_floor_scale must be non-negative")
+        lo, hi = self.spike_ms_range
+        if lo < 0 or hi < lo:
+            raise ValueError("spike_ms_range must be a non-negative, ordered pair")
+
+    @classmethod
+    def none(cls) -> "Imperfections":
+        """The ideal-simulator setting: no un-modelled effects."""
+        return cls()
+
+    def replace(self, **changes) -> "Imperfections":
+        """Return a copy with some fields replaced."""
+        current = {f.name: getattr(self, f.name) for f in fields(self)}
+        current.update(changes)
+        return Imperfections(**current)

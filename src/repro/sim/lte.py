@@ -1,0 +1,145 @@
+"""LTE PHY/MAC abstraction: CQI/MCS selection, PRB data rates, BLER and HARQ.
+
+The mapping tables are simplified versions of the 3GPP link-adaptation chain
+used by NS-3's LENA module: SINR selects a CQI, the CQI maps to an MCS whose
+spectral efficiency determines the per-PRB data rate, and a block-error-rate
+curve around the MCS decoding threshold drives HARQ retransmissions.  The
+``mcs_offset`` configuration of Table 2 lowers the selected MCS to trade
+throughput for robustness, exactly as the FlexRAN knob does in the prototype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.channel import PRB_BANDWIDTH_HZ
+
+__all__ = [
+    "MAX_MCS",
+    "cqi_from_sinr",
+    "mcs_from_cqi",
+    "select_mcs",
+    "spectral_efficiency",
+    "prb_rate_bps",
+    "block_error_rate",
+    "expected_transmissions",
+    "LinkAdaptation",
+]
+
+#: Highest modulation-and-coding-scheme index modelled (64-QAM, rate ~0.93).
+MAX_MCS = 28
+
+#: CQI index -> spectral efficiency (bits/s/Hz), 3GPP TS 36.213 Table 7.2.3-1.
+_CQI_EFFICIENCY = np.array(
+    [
+        0.0,      # CQI 0: out of range
+        0.1523, 0.2344, 0.3770, 0.6016, 0.8770, 1.1758,   # QPSK
+        1.4766, 1.9141, 2.4063,                            # 16QAM
+        2.7305, 3.3223, 3.9023,                            # 16/64QAM
+        4.5234, 5.1152, 5.5547,                            # 64QAM
+    ]
+)
+
+#: Approximate SINR (dB) required to decode each CQI with ~10% BLER.
+_CQI_SINR_THRESHOLDS_DB = np.array(
+    [-np.inf, -6.7, -4.7, -2.3, 0.2, 2.4, 4.3, 5.9, 8.1, 10.3, 11.7, 14.1, 16.3, 18.7, 21.0, 22.7]
+)
+
+
+def cqi_from_sinr(sinr_db: float) -> int:
+    """Highest CQI whose decoding threshold is at or below ``sinr_db``."""
+    feasible = np.flatnonzero(_CQI_SINR_THRESHOLDS_DB <= sinr_db)
+    return int(feasible[-1]) if feasible.size else 0
+
+
+def mcs_from_cqi(cqi: int) -> int:
+    """Map a CQI index (0–15) to an MCS index (0–28)."""
+    if cqi <= 0:
+        return 0
+    cqi = min(int(cqi), 15)
+    return int(round((cqi - 1) * MAX_MCS / 14.0))
+
+
+def select_mcs(sinr_db: float, mcs_offset: float = 0.0) -> int:
+    """Channel-selected MCS lowered by the configured ``mcs_offset``."""
+    base = mcs_from_cqi(cqi_from_sinr(sinr_db))
+    return int(np.clip(round(base - mcs_offset), 0, MAX_MCS))
+
+
+def spectral_efficiency(mcs: int) -> float:
+    """Spectral efficiency (bits/s/Hz) of an MCS index via CQI interpolation."""
+    mcs = int(np.clip(mcs, 0, MAX_MCS))
+    cqi_equivalent = 1.0 + mcs * 14.0 / MAX_MCS
+    lower = int(np.floor(cqi_equivalent))
+    upper = min(lower + 1, 15)
+    fraction = cqi_equivalent - lower
+    return float((1.0 - fraction) * _CQI_EFFICIENCY[lower] + fraction * _CQI_EFFICIENCY[upper])
+
+
+def prb_rate_bps(n_prbs: float, mcs: int, efficiency_factor: float = 1.0) -> float:
+    """Achievable data rate over ``n_prbs`` resource blocks at a given MCS.
+
+    ``efficiency_factor`` accounts for protocol overhead (reference signals,
+    control channels, RLC/PDCP headers); the uplink of the paper's prototype
+    reaches roughly 0.4 Mbps/PRB and the downlink roughly 0.65 Mbps/PRB,
+    which correspond to factors of ~0.4 and ~0.65 at the top MCS.
+    """
+    if n_prbs <= 0:
+        return 0.0
+    if efficiency_factor <= 0:
+        raise ValueError("efficiency_factor must be positive")
+    return float(n_prbs * PRB_BANDWIDTH_HZ * spectral_efficiency(mcs) * efficiency_factor)
+
+
+def block_error_rate(sinr_db: float, mcs: int, floor: float = 2e-3) -> float:
+    """Block error probability of one transmission attempt.
+
+    Modelled as a logistic curve around the MCS decoding threshold with a
+    residual error floor (decoding failures that persist even at high SINR,
+    e.g. from bursty interference), matching the small but non-zero packet
+    error rates of Table 1.
+    """
+    mcs = int(np.clip(mcs, 0, MAX_MCS))
+    cqi_equivalent = 1 + int(round(mcs * 14.0 / MAX_MCS))
+    threshold = _CQI_SINR_THRESHOLDS_DB[min(cqi_equivalent, 15)]
+    if not np.isfinite(threshold):
+        threshold = -7.0
+    margin = sinr_db - threshold
+    bler = 1.0 / (1.0 + np.exp(1.5 * margin))
+    return float(np.clip(bler + floor, floor, 1.0))
+
+
+def expected_transmissions(bler: float, max_attempts: int = 4) -> float:
+    """Expected number of HARQ attempts given a per-attempt error rate."""
+    if not 0.0 <= bler <= 1.0:
+        raise ValueError("bler must be in [0, 1]")
+    attempts = 0.0
+    survive = 1.0
+    for attempt in range(1, max_attempts + 1):
+        attempts += attempt * survive * (1.0 - bler)
+        survive *= bler
+    # Frames that fail all attempts still consumed max_attempts transmissions.
+    attempts += max_attempts * survive
+    return float(attempts)
+
+
+@dataclass(frozen=True)
+class LinkAdaptation:
+    """Resolved link state for one direction of the radio link.
+
+    Produced by the RAN model from the channel SINR and the slice
+    configuration; consumed by the transmission servers.
+    """
+
+    sinr_db: float
+    mcs: int
+    n_prbs: float
+    rate_bps: float
+    bler: float
+
+    @property
+    def residual_error_rate(self) -> float:
+        """Probability a transport block is lost after all HARQ attempts."""
+        return float(self.bler**4)

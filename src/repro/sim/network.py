@@ -1,0 +1,209 @@
+"""Simulator facade: assemble the end-to-end slice path and run measurements.
+
+:class:`NetworkSimulator` is the offline environment Atlas' stages 1 and 2
+query: given a slice configuration, a traffic level and a duration it runs
+the discrete-event simulation and returns the latency collection plus the
+networking metrics reported in Table 1 (ping delay, saturation throughput,
+packet error rates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.qoe import qoe_from_latencies
+from repro.sim.config import SliceConfig
+from repro.sim.core_network import CoreNetwork
+from repro.sim.edge import EdgeServer
+from repro.sim.events import EventScheduler
+from repro.sim.imperfections import Imperfections
+from repro.sim.application import OffloadingApplication
+from repro.sim.parameters import SimulationParameters
+from repro.sim.ran import RadioAccessNetwork
+from repro.sim.scenario import Scenario
+from repro.sim.transport import BackhaulLink, BASE_PROPAGATION_DELAY_MS
+from repro.sim.core_network import BASE_FORWARDING_DELAY_MS
+
+__all__ = ["NetworkSimulator", "SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one 60-second (by default) measurement run."""
+
+    latencies_ms: np.ndarray
+    frames_generated: int
+    frames_completed: int
+    duration_s: float
+    config: SliceConfig
+    traffic: int
+    ul_throughput_mbps: float
+    dl_throughput_mbps: float
+    ul_packet_error_rate: float
+    dl_packet_error_rate: float
+    ping_delay_ms: float
+    stage_breakdown_ms: dict[str, float] = field(default_factory=dict)
+
+    def qoe(self, threshold_ms: float) -> float:
+        """Slice QoE ``Pr(latency <= threshold)`` over all generated frames."""
+        if self.frames_generated == 0:
+            return 0.0
+        # Frames still in flight at the end of the run are not SLA violations;
+        # QoE is computed over completed frames, but a run that completes
+        # nothing has zero QoE.
+        if self.latencies_ms.size == 0:
+            return 0.0
+        return qoe_from_latencies(self.latencies_ms, threshold_ms)
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean latency of completed frames (``nan`` if none completed)."""
+        if self.latencies_ms.size == 0:
+            return float("nan")
+        return float(np.mean(self.latencies_ms))
+
+
+class NetworkSimulator:
+    """Parameterised end-to-end network simulator (the NS-3 stand-in).
+
+    Parameters
+    ----------
+    params:
+        Simulation parameters (Table 3); stage 1 searches over these.
+    scenario:
+        Workload/environment description (traffic, distance, mobility...).
+    imperfections:
+        Un-modelled effects; the ideal simulator leaves them at their neutral
+        defaults, the real-network substitute overrides them.
+    seed:
+        Base seed; every run derives its own stream from this seed, the
+        configuration and the explicit per-run seed so results are
+        reproducible yet varied across runs.
+    isolation:
+        Whether slice isolation is enforced in the RAN.
+    """
+
+    def __init__(
+        self,
+        params: SimulationParameters | None = None,
+        scenario: Scenario | None = None,
+        imperfections: Imperfections | None = None,
+        seed: int = 0,
+        isolation: bool = True,
+    ) -> None:
+        self.params = params if params is not None else SimulationParameters.defaults()
+        self.scenario = scenario if scenario is not None else Scenario()
+        self.imperfections = imperfections if imperfections is not None else Imperfections.none()
+        self.seed = int(seed)
+        self.isolation = isolation
+        self._run_counter = 0
+
+    # ----------------------------------------------------------------- helpers
+    def with_params(self, params: SimulationParameters) -> "NetworkSimulator":
+        """A copy of this simulator with different simulation parameters."""
+        return NetworkSimulator(
+            params=params,
+            scenario=self.scenario,
+            imperfections=self.imperfections,
+            seed=self.seed,
+            isolation=self.isolation,
+        )
+
+    def with_scenario(self, scenario: Scenario) -> "NetworkSimulator":
+        """A copy of this simulator with a different scenario."""
+        return NetworkSimulator(
+            params=self.params,
+            scenario=scenario,
+            imperfections=self.imperfections,
+            seed=self.seed,
+            isolation=self.isolation,
+        )
+
+    def _make_rng(self, seed: int | None) -> np.random.Generator:
+        if seed is None:
+            self._run_counter += 1
+            seed = self._run_counter
+        return np.random.default_rng(np.random.SeedSequence([self.seed, int(seed) & 0x7FFFFFFF]))
+
+    # --------------------------------------------------------------------- run
+    def run(
+        self,
+        config: SliceConfig,
+        traffic: int | None = None,
+        duration: float | None = None,
+        seed: int | None = None,
+    ) -> SimulationResult:
+        """Run one measurement under ``config`` and return the collected metrics."""
+        scenario = self.scenario
+        if traffic is not None:
+            scenario = scenario.replace(traffic=int(traffic))
+        run_duration = float(duration) if duration is not None else scenario.duration_s
+        rng = self._make_rng(seed)
+
+        scheduler = EventScheduler()
+        ran = RadioAccessNetwork(
+            scheduler, scenario, self.params, config, self.imperfections, rng, self.isolation
+        )
+        backhaul = BackhaulLink(scheduler, self.params, config, rng)
+        core = CoreNetwork(scheduler, rng)
+        edge = EdgeServer(scheduler, scenario, self.params, config, self.imperfections, rng)
+        app = OffloadingApplication(
+            scheduler, scenario, self.params, ran, backhaul, core, edge, self.imperfections, rng
+        )
+        app.start()
+        scheduler.run(until=run_duration)
+        app.stop()
+
+        latencies = app.completed_latencies_ms()
+        return SimulationResult(
+            latencies_ms=latencies,
+            frames_generated=len(app.records),
+            frames_completed=int(latencies.size),
+            duration_s=run_duration,
+            config=config,
+            traffic=scenario.traffic,
+            ul_throughput_mbps=ran.saturation_throughput_mbps(uplink=True),
+            dl_throughput_mbps=ran.saturation_throughput_mbps(uplink=False),
+            ul_packet_error_rate=ran.uplink_packet_error_rate(),
+            dl_packet_error_rate=ran.downlink_packet_error_rate(),
+            ping_delay_ms=self._ping_delay_ms(ran, backhaul, rng),
+            stage_breakdown_ms=app.stage_breakdown_ms(),
+        )
+
+    def collect_latencies(
+        self,
+        config: SliceConfig,
+        traffic: int | None = None,
+        duration: float | None = None,
+        seed: int | None = None,
+    ) -> np.ndarray:
+        """Convenience wrapper returning only the latency collection."""
+        return self.run(config, traffic=traffic, duration=duration, seed=seed).latencies_ms
+
+    # ------------------------------------------------------------------- ping
+    def _ping_delay_ms(
+        self,
+        ran: RadioAccessNetwork,
+        backhaul: BackhaulLink,
+        rng: np.random.Generator,
+    ) -> float:
+        """Round-trip time of a 64-byte ICMP echo through RAN + TN + CN."""
+        ping_bytes = 64.0
+        uplink = ran.uplink_adaptation()
+        downlink = ran.downlink_adaptation()
+        if uplink.rate_bps <= 0 or downlink.rate_bps <= 0:
+            return float("inf")
+        # LTE scheduling grant + HARQ round trip dominate small-packet RTT.
+        scheduling_grant_ms = 24.0
+        air_ms = (ping_bytes * 8.0 / uplink.rate_bps + ping_bytes * 8.0 / downlink.rate_bps) * 1e3
+        transport_ms = 2.0 * (
+            ping_bytes * 8.0 / (backhaul.capacity_mbps * 1e6) * 1e3
+            + BASE_PROPAGATION_DELAY_MS
+            + self.params.backhaul_delay
+        )
+        core_ms = 2.0 * BASE_FORWARDING_DELAY_MS
+        overhead_ms = self.imperfections.per_frame_overhead_ms * 0.25
+        jitter_ms = abs(rng.normal(0.0, 1.0))
+        return float(scheduling_grant_ms + air_ms + transport_ms + core_ms + overhead_ms + jitter_ms)

@@ -1,0 +1,132 @@
+"""Simulation parameters of the learning-based simulator (Table 3).
+
+These are the 7 knobs stage 1 of Atlas searches over to reduce the
+sim-to-real discrepancy.  The defaults are the "original simulator" values
+reported in Table 4 of the paper: a reference pathloss of 38.57 dB (NS-3
+``LogDistancePropagationLossModel`` default), eNB/UE noise figures of 5 and
+9 dB, and no additional transport bandwidth/delay, compute time or UE loading
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+__all__ = ["SimulationParameters", "PARAMETER_NAMES", "PARAMETER_BOUNDS"]
+
+
+#: Order of the parameter vector, matching Table 3 / Table 4 of the paper.
+PARAMETER_NAMES: tuple[str, ...] = (
+    "baseline_loss",
+    "enb_noise_figure",
+    "ue_noise_figure",
+    "backhaul_bw",
+    "backhaul_delay",
+    "compute_time",
+    "loading_time",
+)
+
+#: Feasible range of each simulation parameter (used by the search space).
+PARAMETER_BOUNDS: dict[str, tuple[float, float]] = {
+    "baseline_loss": (30.0, 50.0),   # dB, base loss of the pathloss model
+    "enb_noise_figure": (0.0, 10.0),  # dB
+    "ue_noise_figure": (0.0, 13.0),   # dB
+    "backhaul_bw": (0.0, 20.0),       # Mbps of additional transport bandwidth
+    "backhaul_delay": (0.0, 20.0),    # ms of additional transport delay
+    "compute_time": (0.0, 30.0),      # ms of additional edge compute time
+    "loading_time": (0.0, 30.0),      # ms of additional UE-side loading time
+}
+
+
+@dataclass(frozen=True)
+class SimulationParameters:
+    """The 7-dimensional simulation-parameter vector of Table 3.
+
+    Attributes
+    ----------
+    baseline_loss:
+        Base loss (dB) of the log-distance pathloss model (``ReferenceLoss``
+        in NS-3).
+    enb_noise_figure, ue_noise_figure:
+        Receiver noise figures (dB) modelling non-ideal transceivers.
+    backhaul_bw:
+        Additional transport bandwidth (Mbps) on top of the configured slice
+        backhaul allocation.
+    backhaul_delay:
+        Additional one-way transport delay (ms).
+    compute_time:
+        Additional per-frame edge compute time (ms).
+    loading_time:
+        Additional per-frame loading time at the UE (ms).
+    """
+
+    baseline_loss: float = 38.57
+    enb_noise_figure: float = 5.0
+    ue_noise_figure: float = 9.0
+    backhaul_bw: float = 0.0
+    backhaul_delay: float = 0.0
+    compute_time: float = 0.0
+    loading_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in PARAMETER_NAMES:
+            lo, hi = PARAMETER_BOUNDS[name]
+            value = getattr(self, name)
+            if not np.isfinite(value):
+                raise ValueError(f"simulation parameter {name} must be finite, got {value}")
+            if value < lo - 1e-9 or value > hi + 1e-9:
+                raise ValueError(
+                    f"simulation parameter {name}={value} outside feasible range [{lo}, {hi}]"
+                )
+
+    # ------------------------------------------------------------ conversions
+    def to_array(self) -> np.ndarray:
+        """Return the parameters as a vector in the Table 3 order."""
+        return np.array([getattr(self, name) for name in PARAMETER_NAMES], dtype=float)
+
+    @classmethod
+    def from_array(cls, values) -> "SimulationParameters":
+        """Build parameters from a vector in the Table 3 order (values are clipped)."""
+        arr = np.asarray(values, dtype=float).ravel()
+        if arr.size != len(PARAMETER_NAMES):
+            raise ValueError(
+                f"expected {len(PARAMETER_NAMES)} simulation parameters, got {arr.size}"
+            )
+        clipped = {}
+        for name, value in zip(PARAMETER_NAMES, arr):
+            lo, hi = PARAMETER_BOUNDS[name]
+            clipped[name] = float(np.clip(value, lo, hi))
+        return cls(**clipped)
+
+    @classmethod
+    def defaults(cls) -> "SimulationParameters":
+        """The original simulator parameters (zero parameter distance)."""
+        return cls()
+
+    @classmethod
+    def bounds_arrays(cls) -> tuple[np.ndarray, np.ndarray]:
+        """Lower and upper bounds as vectors in the Table 3 order."""
+        lows = np.array([PARAMETER_BOUNDS[name][0] for name in PARAMETER_NAMES])
+        highs = np.array([PARAMETER_BOUNDS[name][1] for name in PARAMETER_NAMES])
+        return lows, highs
+
+    def replace(self, **changes) -> "SimulationParameters":
+        """Return a copy with some fields replaced."""
+        current = {f.name: getattr(self, f.name) for f in fields(self)}
+        current.update(changes)
+        return SimulationParameters(**current)
+
+    def distance_to(self, other: "SimulationParameters", normalized: bool = True) -> float:
+        """l2 parameter distance ``|x - x_hat|_2`` (Eq. 2).
+
+        With ``normalized=True`` (the default used by the search), every
+        dimension is first scaled by its feasible range so heterogeneous
+        units (dB vs. ms vs. Mbps) contribute comparably.
+        """
+        delta = self.to_array() - other.to_array()
+        if normalized:
+            lows, highs = self.bounds_arrays()
+            delta = delta / (highs - lows)
+        return float(np.linalg.norm(delta))

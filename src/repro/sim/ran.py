@@ -1,0 +1,201 @@
+"""Radio access network model: eNB, UE, per-slice PRB allocation and links.
+
+The RAN resolves the slice configuration (UL/DL PRB budgets, MCS offsets)
+and the channel conditions (pathloss from the UE–eNB distance, noise
+figures, fading) into per-direction :class:`~repro.sim.lte.LinkAdaptation`
+states, and exposes FIFO transmission servers whose service time is the
+airtime of a frame including HARQ retransmissions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.channel import PRB_BANDWIDTH_HZ, LogDistancePathloss, ShadowFading, sinr_db
+from repro.sim.config import SliceConfig
+from repro.sim.events import EventScheduler, FifoServer
+from repro.sim.imperfections import Imperfections
+from repro.sim.lte import (
+    LinkAdaptation,
+    block_error_rate,
+    expected_transmissions,
+    prb_rate_bps,
+    select_mcs,
+)
+from repro.sim.parameters import SimulationParameters
+from repro.sim.scenario import Scenario
+
+__all__ = ["RadioAccessNetwork", "UL_EFFICIENCY_FACTOR", "DL_EFFICIENCY_FACTOR"]
+
+#: Protocol-efficiency factors calibrated so a full 50-PRB carrier reaches
+#: roughly the UL/DL throughput the paper measures for 10 MHz LTE (Table 1).
+UL_EFFICIENCY_FACTOR = 0.40
+DL_EFFICIENCY_FACTOR = 0.65
+
+#: HARQ round-trip time (ms) added per retransmission.
+_HARQ_RTT_MS = 8.0
+#: RLC ARQ recovery delay (ms) when all HARQ attempts fail.
+_ARQ_RECOVERY_MS = 40.0
+
+
+class RadioAccessNetwork:
+    """eNB + UE radio model for one slice.
+
+    Parameters
+    ----------
+    scheduler:
+        Discrete-event scheduler the transmission servers run on.
+    scenario, params, config:
+        Workload, simulation parameters and slice configuration.
+    imperfections:
+        Un-modelled real-world effects (neutral for the ideal simulator).
+    rng:
+        Random generator for fading, HARQ and error sampling.
+    isolation:
+        Whether slice isolation is enforced; when disabled, background users
+        (``scenario.extra_users``) steal PRBs from the slice.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        scenario: Scenario,
+        params: SimulationParameters,
+        config: SliceConfig,
+        imperfections: Imperfections | None = None,
+        rng: np.random.Generator | None = None,
+        isolation: bool = True,
+    ) -> None:
+        self.scheduler = scheduler
+        self.scenario = scenario
+        self.params = params
+        self.config = config
+        self.imperfections = imperfections if imperfections is not None else Imperfections.none()
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.isolation = isolation
+        self.pathloss = LogDistancePathloss(reference_loss_db=params.baseline_loss)
+        self.fading = ShadowFading(
+            std_db=self.imperfections.fading_std_db,
+            deep_fade_probability=self.imperfections.deep_fade_probability,
+            deep_fade_db=self.imperfections.deep_fade_db,
+            rng=self._rng,
+        )
+        # Error/transmission counters for the PER metrics of Table 1.
+        self.ul_blocks = 0
+        self.ul_block_errors = 0
+        self.dl_blocks = 0
+        self.dl_block_errors = 0
+
+        self.uplink_server = FifoServer(
+            scheduler, self._uplink_service_time, name="radio-uplink"
+        )
+        self.downlink_server = FifoServer(
+            scheduler, self._downlink_service_time, name="radio-downlink"
+        )
+
+    # ------------------------------------------------------------- adaptation
+    def _current_distance(self) -> float:
+        if self.scenario.mobility == "random_walk":
+            # Re-sample the UE position uniformly within a disc around the
+            # nominal distance; this is the "random" case of Fig. 10.
+            spread = max(1.0, self.scenario.distance_m)
+            return float(self._rng.uniform(0.5, self.scenario.distance_m + spread))
+        return self.scenario.distance_m
+
+    def _available_prbs(self, configured: float) -> float:
+        if self.isolation or self.scenario.extra_users == 0:
+            return configured
+        # Without isolation, each background user grabs a share of the carrier.
+        stolen = min(configured * 0.2 * self.scenario.extra_users, configured * 0.8)
+        return configured - stolen
+
+    def uplink_adaptation(self) -> LinkAdaptation:
+        """Resolve the uplink link state under the current channel and config."""
+        n_prbs = self._available_prbs(self.config.effective_uplink_prbs())
+        fading_db = self.fading.sample_db()
+        sinr = sinr_db(
+            tx_power_dbm=self.scenario.ue_tx_power_dbm,
+            pathloss_db=self.pathloss.loss_db(self._current_distance()),
+            fading_db=fading_db,
+            bandwidth_hz=max(n_prbs, 1.0) * PRB_BANDWIDTH_HZ,
+            noise_figure_db=self.params.enb_noise_figure,
+        )
+        mcs = select_mcs(sinr, self.config.mcs_offset_ul)
+        rate = prb_rate_bps(n_prbs, mcs, UL_EFFICIENCY_FACTOR) * self.imperfections.ul_rate_derate
+        bler = block_error_rate(sinr, mcs, floor=4e-3 * max(self.imperfections.error_floor_scale, 1e-6))
+        return LinkAdaptation(sinr_db=sinr, mcs=mcs, n_prbs=n_prbs, rate_bps=rate, bler=bler)
+
+    def downlink_adaptation(self) -> LinkAdaptation:
+        """Resolve the downlink link state under the current channel and config."""
+        n_prbs = self._available_prbs(self.config.effective_downlink_prbs())
+        fading_db = self.fading.sample_db()
+        sinr = sinr_db(
+            tx_power_dbm=self.scenario.enb_tx_power_dbm,
+            pathloss_db=self.pathloss.loss_db(self._current_distance()),
+            fading_db=fading_db,
+            bandwidth_hz=max(n_prbs, 1.0) * PRB_BANDWIDTH_HZ,
+            noise_figure_db=self.params.ue_noise_figure,
+        )
+        mcs = select_mcs(sinr, self.config.mcs_offset_dl)
+        rate = prb_rate_bps(n_prbs, mcs, DL_EFFICIENCY_FACTOR) * self.imperfections.dl_rate_derate
+        bler = block_error_rate(sinr, mcs, floor=2e-3 * max(self.imperfections.error_floor_scale, 1e-6))
+        return LinkAdaptation(sinr_db=sinr, mcs=mcs, n_prbs=n_prbs, rate_bps=rate, bler=bler)
+
+    # ---------------------------------------------------------- service times
+    def _transmission_time_s(self, size_bytes: float, link: LinkAdaptation, uplink: bool) -> float:
+        """Airtime (seconds) of one frame, including HARQ/ARQ recovery."""
+        if link.rate_bps <= 0:
+            # No usable rate: the frame stalls until ARQ recovery repeatedly
+            # kicks in; report a large but finite time so the run terminates.
+            return 2.0
+        retx = expected_transmissions(link.bler)
+        airtime = size_bytes * 8.0 / link.rate_bps
+        harq_penalty = (retx - 1.0) * _HARQ_RTT_MS / 1e3
+        # The PER metric of Table 1 is the first-transmission block error
+        # rate; residual loss after HARQ is recovered by RLC ARQ.
+        first_tx_error = self._rng.random() < link.bler
+        if uplink:
+            self.ul_blocks += 1
+            self.ul_block_errors += int(first_tx_error)
+        else:
+            self.dl_blocks += 1
+            self.dl_block_errors += int(first_tx_error)
+        lost_after_harq = self._rng.random() < link.residual_error_rate
+        arq_penalty = _ARQ_RECOVERY_MS / 1e3 if lost_after_harq else 0.0
+        return airtime * retx + harq_penalty + arq_penalty
+
+    def _uplink_service_time(self, frame) -> float:
+        link = self.uplink_adaptation()
+        frame.uplink_mcs = link.mcs
+        frame.uplink_sinr_db = link.sinr_db
+        return self._transmission_time_s(frame.size_bytes, link, uplink=True)
+
+    def _downlink_service_time(self, frame) -> float:
+        link = self.downlink_adaptation()
+        frame.downlink_mcs = link.mcs
+        return self._transmission_time_s(frame.result_size_bytes, link, uplink=False)
+
+    # ---------------------------------------------------------------- metrics
+    def uplink_packet_error_rate(self) -> float:
+        """Residual uplink block error rate observed so far."""
+        if self.ul_blocks == 0:
+            return 0.0
+        return self.ul_block_errors / self.ul_blocks
+
+    def downlink_packet_error_rate(self) -> float:
+        """Residual downlink block error rate observed so far."""
+        if self.dl_blocks == 0:
+            return 0.0
+        return self.dl_block_errors / self.dl_blocks
+
+    def saturation_throughput_mbps(self, uplink: bool = True) -> float:
+        """Full-buffer throughput (Mbps) with the full carrier, for Table 1."""
+        full_config = SliceConfig.maximum()
+        saved = self.config
+        self.config = full_config
+        try:
+            link = self.uplink_adaptation() if uplink else self.downlink_adaptation()
+        finally:
+            self.config = saved
+        effective = link.rate_bps * (1.0 - link.bler)
+        return float(effective / 1e6)

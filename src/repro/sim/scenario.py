@@ -1,0 +1,84 @@
+"""Scenario description: everything about the environment that is *not* a
+configuration action or a searchable simulation parameter.
+
+A scenario captures the network state ``s_t`` of the paper (user traffic,
+user position/mobility, number of extra background users) together with the
+fixed physical setup of the prototype (transmit powers, carrier, application
+traffic statistics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["Scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Environment and workload description for one simulation/measurement run.
+
+    Attributes
+    ----------
+    traffic:
+        Number of on-the-fly frames the application keeps in flight; the
+        paper uses this congestion-control window to emulate 1–4 users.
+    distance_m:
+        Line-of-sight UE–eNB distance in metres (1 m in the prototype).
+    mobility:
+        ``"static"`` or ``"random_walk"``; a random walk re-samples the
+        distance during the run, increasing channel variability (Fig. 10).
+    extra_users:
+        Background users attached to the cell generating best-effort traffic
+        outside the slice (isolation experiment, Fig. 11).
+    ue_tx_power_dbm, enb_tx_power_dbm:
+        Uplink and downlink transmit powers.
+    frame_size_mean_bytes, frame_size_std_bytes:
+        Uplink frame (540p image) size statistics; the paper measures
+        28.8 kB mean and 9.9 kB standard deviation.
+    result_size_bytes:
+        Size of the downlink feature-extraction result.
+    compute_time_mean_ms, compute_time_std_ms:
+        Edge compute (ORB feature extraction) service-time statistics at
+        CPU ratio 1.0; the paper measures 81 ms mean and 35 ms std.
+    base_loading_time_ms:
+        UE-side frame capture/encoding time before transmission.
+    duration_s:
+        Length of one measurement run (60 s in the paper).
+    """
+
+    traffic: int = 1
+    distance_m: float = 1.0
+    mobility: str = "static"
+    extra_users: int = 0
+    ue_tx_power_dbm: float = 23.0
+    enb_tx_power_dbm: float = 43.0
+    frame_size_mean_bytes: float = 28_800.0
+    frame_size_std_bytes: float = 9_900.0
+    result_size_bytes: float = 2_000.0
+    compute_time_mean_ms: float = 81.0
+    compute_time_std_ms: float = 35.0
+    base_loading_time_ms: float = 20.0
+    duration_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.traffic < 1:
+            raise ValueError(f"traffic must be >= 1, got {self.traffic}")
+        if self.distance_m <= 0:
+            raise ValueError(f"distance_m must be positive, got {self.distance_m}")
+        if self.mobility not in ("static", "random_walk"):
+            raise ValueError(f"mobility must be 'static' or 'random_walk', got {self.mobility!r}")
+        if self.extra_users < 0:
+            raise ValueError(f"extra_users must be >= 0, got {self.extra_users}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+
+    def replace(self, **changes) -> "Scenario":
+        """Return a copy with some fields replaced."""
+        current = {f.name: getattr(self, f.name) for f in fields(self)}
+        current.update(changes)
+        return Scenario(**current)
+
+    def state_vector(self) -> tuple[float, ...]:
+        """The observable network state ``s_t`` exposed to the learning stages."""
+        return (float(self.traffic), float(self.distance_m), float(self.extra_users))

@@ -1,0 +1,76 @@
+"""Application traffic models.
+
+The slice application continuously uploads camera frames (540p images) to
+the edge server and receives feature-extraction results back; the number of
+on-the-fly frames is capped by a congestion-control window that the paper
+uses to emulate 1–4 users.  Background best-effort users (YouTube-like
+downlink streams) can also be generated for the isolation experiment of
+Fig. 11.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.scenario import Scenario
+
+__all__ = ["FrameSizeModel", "BackgroundTrafficModel"]
+
+
+class FrameSizeModel:
+    """Samples uplink frame sizes and downlink result sizes.
+
+    Frame sizes follow a truncated normal distribution matching the paper's
+    measurement of the Android application (28.8 kB mean, 9.9 kB std); the
+    truncation at 20% of the mean avoids non-physical tiny or negative
+    frames.
+    """
+
+    def __init__(self, scenario: Scenario, rng: np.random.Generator | None = None) -> None:
+        self.scenario = scenario
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def sample_frame_bytes(self) -> float:
+        """Draw the size (bytes) of one uplink frame."""
+        size = self._rng.normal(
+            self.scenario.frame_size_mean_bytes, self.scenario.frame_size_std_bytes
+        )
+        floor = 0.2 * self.scenario.frame_size_mean_bytes
+        return float(max(size, floor))
+
+    def sample_result_bytes(self) -> float:
+        """Draw the size (bytes) of one downlink result message."""
+        size = self._rng.normal(self.scenario.result_size_bytes, 0.1 * self.scenario.result_size_bytes)
+        return float(max(size, 0.2 * self.scenario.result_size_bytes))
+
+
+class BackgroundTrafficModel:
+    """Best-effort background users outside the slice (isolation experiment).
+
+    Each background user streams video on the downlink at a few Mbps.  With
+    slice isolation enforced the background load never touches the slice's
+    PRB/backhaul/CPU allocations, so the model only needs to report the
+    aggregate offered load; when isolation is disabled the RAN model uses the
+    number of users to steal PRBs from the slice.
+    """
+
+    def __init__(
+        self,
+        n_users: int,
+        per_user_rate_mbps: float = 4.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_users < 0:
+            raise ValueError("n_users must be non-negative")
+        if per_user_rate_mbps <= 0:
+            raise ValueError("per_user_rate_mbps must be positive")
+        self.n_users = n_users
+        self.per_user_rate_mbps = per_user_rate_mbps
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def offered_load_mbps(self) -> float:
+        """Aggregate downlink load (Mbps) offered by the background users."""
+        if self.n_users == 0:
+            return 0.0
+        rates = self._rng.normal(self.per_user_rate_mbps, 0.5, size=self.n_users)
+        return float(np.sum(np.maximum(rates, 0.5)))

@@ -1,0 +1,74 @@
+"""Transport (backhaul) network model.
+
+The prototype meters the slice's backhaul bandwidth on an SDN switch between
+the eNB and the core network (OpenDayLight + OpenFlow meters).  The simulator
+models it as a point-to-point link: frames are serialised at the metered rate
+and then experience a propagation/forwarding delay.  The ``backhaul_bw`` and
+``backhaul_delay`` simulation parameters (Table 3) add capacity and delay on
+top of the configured values — they are two of the knobs stage 1 searches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.config import SliceConfig
+from repro.sim.events import EventScheduler, FifoServer
+from repro.sim.parameters import SimulationParameters
+
+__all__ = ["BackhaulLink", "BASE_PROPAGATION_DELAY_MS", "MINIMUM_BACKHAUL_MBPS"]
+
+#: Fixed one-way propagation/forwarding delay of the switch fabric.
+BASE_PROPAGATION_DELAY_MS = 1.5
+
+#: Floor on the metered rate so a zero-bandwidth configuration still trickles
+#: (the OpenFlow meter cannot drop the control-plane keep-alives to zero).
+MINIMUM_BACKHAUL_MBPS = 0.5
+
+
+class BackhaulLink:
+    """Metered point-to-point backhaul link between the eNB and the core.
+
+    Exposes two FIFO servers (one per direction) sharing the same metered
+    rate configuration but with independent queues, matching the full-duplex
+    switch port of the prototype.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        params: SimulationParameters,
+        config: SliceConfig,
+        rng: np.random.Generator | None = None,
+        jitter_ms: float = 0.3,
+    ) -> None:
+        self.scheduler = scheduler
+        self.params = params
+        self.config = config
+        self.jitter_ms = jitter_ms
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.uplink_server = FifoServer(
+            scheduler,
+            lambda frame: self._serialization_time_s(frame.size_bytes),
+            post_delay_fn=lambda frame: self._propagation_delay_s(),
+            name="backhaul-uplink",
+        )
+        self.downlink_server = FifoServer(
+            scheduler,
+            lambda frame: self._serialization_time_s(frame.result_size_bytes),
+            post_delay_fn=lambda frame: self._propagation_delay_s(),
+            name="backhaul-downlink",
+        )
+
+    @property
+    def capacity_mbps(self) -> float:
+        """Effective metered rate: configured slice bandwidth plus the stage-1 extra."""
+        return max(self.config.backhaul_bw + self.params.backhaul_bw, MINIMUM_BACKHAUL_MBPS)
+
+    def _serialization_time_s(self, size_bytes: float) -> float:
+        return size_bytes * 8.0 / (self.capacity_mbps * 1e6)
+
+    def _propagation_delay_s(self) -> float:
+        jitter = abs(self._rng.normal(0.0, self.jitter_ms)) if self.jitter_ms > 0 else 0.0
+        delay_ms = BASE_PROPAGATION_DELAY_MS + self.params.backhaul_delay + jitter
+        return delay_ms / 1e3

@@ -1,0 +1,167 @@
+"""Smoke tests of the experiment runners (the figure/table reproduction code).
+
+These run at the "smoke" scale — the goal is to verify every runner produces
+well-formed results; the benchmarks run them at a meaningful scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import motivation, stage1, stage2, stage3
+from repro.experiments.scale import SCALES, ExperimentScale, get_scale
+from repro.sim.parameters import SimulationParameters
+
+SMOKE = SCALES["smoke"]
+
+
+class TestScale:
+    def test_get_scale_reads_environment(self, monkeypatch):
+        monkeypatch.setenv("ATLAS_BENCH_SCALE", "smoke")
+        assert get_scale().name == "smoke"
+
+    def test_get_scale_by_name_and_default(self, monkeypatch):
+        monkeypatch.delenv("ATLAS_BENCH_SCALE", raising=False)
+        assert get_scale().name == "small"
+        assert get_scale("paper").name == "paper"
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError):
+            get_scale("enormous")
+
+    def test_scales_are_ordered_by_budget(self):
+        assert SCALES["smoke"].stage2_iterations < SCALES["small"].stage2_iterations
+        assert SCALES["small"].stage2_iterations < SCALES["paper"].stage2_iterations
+        assert SCALES["paper"].stage3_iterations == 100
+
+    def test_scale_is_a_frozen_dataclass(self):
+        with pytest.raises(Exception):
+            SMOKE.stage1_iterations = 5  # type: ignore[misc]
+        assert isinstance(SMOKE, ExperimentScale)
+
+
+class TestMotivationRunners:
+    def test_table1_rows(self):
+        rows = motivation.table1_network_performance(SMOKE)
+        assert len(rows) == 5
+        by_metric = {row.metric: row for row in rows}
+        assert by_metric["UL Throughput (Mbps)"].system < by_metric["UL Throughput (Mbps)"].simulator
+
+    def test_fig2_latency_cdf(self):
+        result = motivation.fig2_latency_cdf(SMOKE)
+        values, probabilities = result.system_cdf()
+        assert probabilities[-1] == pytest.approx(1.0)
+        assert result.mean_latency_increase() > 0.0
+
+    def test_fig3_latency_vs_traffic(self):
+        result = motivation.fig3_latency_vs_traffic(SMOKE, traffic_levels=(1, 3))
+        assert result.traffic_levels == [1, 3]
+        assert len(result.simulator_summaries) == 2
+        assert np.all(result.mean_gap_ms() > 0)
+
+    def test_fig4_kl_heatmap(self):
+        result = motivation.fig4_kl_heatmap(SMOKE)
+        assert result.kl_matrix.shape == (SMOKE.heatmap_resolution, SMOKE.heatmap_resolution)
+        assert result.min_divergence() >= 0.0
+        assert result.max_divergence() > result.min_divergence()
+
+    def test_fig5_online_footprint(self):
+        result = motivation.fig5_online_footprint(SMOKE)
+        assert set(result.methods) == {"BO", "DLDA"}
+        for series in result.methods.values():
+            assert len(series["usage"]) == SMOKE.baseline_iterations
+        assert 0.0 <= result.violation_rate("BO") <= 1.0
+
+
+class TestStage1Runners:
+    def test_fig8_table4(self):
+        comparison = stage1.fig8_table4_parameter_search(SMOKE)
+        rows = comparison.table4_rows()
+        assert [r["method"] for r in rows] == [
+            "Original Simulator", "Aug. Simulator, GP", "Aug. Simulator, Ours",
+        ]
+        assert rows[0]["parameter_distance"] == 0.0
+        assert rows[2]["discrepancy"] <= rows[0]["discrepancy"] + 1e-9
+
+    def test_fig10_mobility(self):
+        result = stage1.fig10_mobility_discrepancy(SMOKE, distances=(1.0, 10.0))
+        assert len(result.discrepancies) == 2
+        assert all(d >= 0 for d in result.discrepancies)
+
+    def test_fig11_isolation(self):
+        result = stage1.fig11_isolation(SMOKE, extra_users=(0, 2))
+        assert len(result.mean_latencies_ms) == 2
+        assert result.max_latency_shift() < 0.5
+
+    def test_fig14_discrepancy_under_traffic(self):
+        best = SimulationParameters(38.9, 2.0, 9.2, 4.0, 8.0, 10.0, 14.0)
+        result = stage1.fig14_discrepancy_under_traffic(best, SMOKE, traffic_levels=(1, 2))
+        assert len(result.original) == 2
+        reductions = result.reductions()
+        assert reductions.shape == (2,)
+
+    def test_fig15_discrepancy_under_resources(self):
+        best = SimulationParameters(38.9, 2.0, 9.2, 4.0, 8.0, 10.0, 14.0)
+        result = stage1.fig15_discrepancy_under_resources(best, SMOKE)
+        assert len(result.labels) == SMOKE.heatmap_resolution**2
+
+
+class TestStage2Runners:
+    def test_fig16_offline_progress(self):
+        result = stage2.fig16_offline_progress(SMOKE)
+        assert len(result.usage_per_iteration()) == SMOKE.stage2_iterations
+        assert 0.0 <= result.policy.best_qoe <= 1.0
+
+    def test_fig17_offline_comparison_subset(self):
+        points = stage2.fig17_offline_comparison(SMOKE, methods=("ours", "gp-ei"))
+        assert [p.method for p in points] == ["ours", "gp-ei"]
+        for point in points:
+            assert 0.0 <= point.qoe <= 1.0
+            assert 0.0 <= point.resource_usage <= 1.0
+
+    def test_fig17_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            stage2.fig17_offline_comparison(SMOKE, methods=("simulated-annealing",))
+
+    def test_fig19_threshold_sweep(self):
+        result = stage2.fig19_threshold_sweep(SMOKE, thresholds_ms=(300.0, 500.0), methods=("ours",))
+        assert result.thresholds_ms == [300.0, 500.0]
+        assert len(result.usage["ours"]) == 2
+
+
+class TestStage3Runners:
+    def test_online_comparison_subset(self):
+        result = stage3.fig20_21_table5_online_comparison(SMOKE, methods=("ours", "baseline"))
+        assert set(result.runs) == {"ours", "baseline"}
+        rows = result.table5_rows()
+        assert len(rows) == 2
+        for run in result.runs.values():
+            assert len(run.usages) == SMOKE.stage3_iterations
+        assert result.optimal_usage > 0.0
+
+    def test_unknown_online_method_raises(self):
+        with pytest.raises(ValueError):
+            stage3.fig20_21_table5_online_comparison(SMOKE, methods=("alphazero",))
+
+    def test_acquisition_ablation(self):
+        result = stage3.fig22_acquisition_ablation(SMOKE, acquisitions=("crgp_ucb", "ei"))
+        assert set(result.footprints) == {"crgp_ucb", "ei"}
+        assert 0.0 <= result.violation_rate("ei") <= 1.0
+
+    def test_model_ablation(self):
+        result = stage3.fig23_online_model_ablation(SMOKE, variants=("ours", "no_offline_acceleration"))
+        assert set(result.regrets) == {"ours", "no_offline_acceleration"}
+        for metrics in result.regrets.values():
+            assert set(metrics) == {"avg_usage_regret", "avg_qoe_regret", "sla_violation_rate"}
+
+    def test_stage_ablation(self):
+        result = stage3.fig24_stage_ablation(SMOKE, variants=("ours", "no_stage3"))
+        assert set(result.footprints) == {"ours", "no_stage3"}
+        assert result.mean_usage["no_stage3"] > 0.0
+
+    def test_dynamic_traffic(self):
+        result = stage3.fig25_26_dynamic_traffic(
+            SMOKE, traffic_levels=(2,), methods=("ours", "dlda")
+        )
+        assert result.traffic_levels == [2]
+        assert len(result.usage_regret["ours"]) == 1
+        assert len(result.qoe_regret["dlda"]) == 1

@@ -1,0 +1,103 @@
+"""Tests for the KL-divergence estimators (stage-1 discrepancy measure)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.kl import (
+    histogram_kl_divergence,
+    jensen_shannon_divergence,
+    symmetric_kl_divergence,
+)
+
+
+class TestHistogramKL:
+    def test_identical_collections_have_near_zero_divergence(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(100.0, 10.0, size=5000)
+        assert histogram_kl_divergence(samples, samples) < 1e-9
+
+    def test_same_distribution_different_samples_small_divergence(self):
+        rng = np.random.default_rng(1)
+        p = rng.normal(100.0, 10.0, size=5000)
+        q = rng.normal(100.0, 10.0, size=5000)
+        assert histogram_kl_divergence(p, q) < 0.05
+
+    def test_shifted_distribution_has_larger_divergence(self):
+        rng = np.random.default_rng(2)
+        p = rng.normal(100.0, 10.0, size=3000)
+        q_near = rng.normal(105.0, 10.0, size=3000)
+        q_far = rng.normal(160.0, 10.0, size=3000)
+        assert histogram_kl_divergence(p, q_far) > histogram_kl_divergence(p, q_near)
+
+    def test_divergence_is_non_negative(self):
+        rng = np.random.default_rng(3)
+        p = rng.exponential(50.0, size=1000)
+        q = rng.normal(200.0, 30.0, size=1000)
+        assert histogram_kl_divergence(p, q) >= 0.0
+
+    def test_divergence_is_asymmetric_in_general(self):
+        rng = np.random.default_rng(4)
+        p = rng.normal(100.0, 5.0, size=2000)
+        q = rng.normal(100.0, 40.0, size=2000)
+        forward = histogram_kl_divergence(p, q)
+        backward = histogram_kl_divergence(q, p)
+        assert forward != pytest.approx(backward, rel=0.05)
+
+    def test_nan_and_inf_samples_are_ignored(self):
+        p = np.array([100.0, 110.0, 120.0, np.nan, np.inf])
+        q = np.array([100.0, 110.0, 120.0])
+        value = histogram_kl_divergence(p, q)
+        assert np.isfinite(value)
+
+    def test_empty_collection_raises(self):
+        with pytest.raises(ValueError):
+            histogram_kl_divergence([], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            histogram_kl_divergence([1.0], [np.nan])
+
+    def test_invalid_bins_and_smoothing_raise(self):
+        with pytest.raises(ValueError):
+            histogram_kl_divergence([1.0, 2.0], [1.0, 2.0], bins=1)
+        with pytest.raises(ValueError):
+            histogram_kl_divergence([1.0, 2.0], [1.0, 2.0], smoothing=0.0)
+
+    def test_degenerate_identical_point_masses(self):
+        # Both collections are a point mass at the same value; only the
+        # Laplace smoothing (spread over different sample counts) separates
+        # them, so the divergence must be essentially zero.
+        value = histogram_kl_divergence([5.0, 5.0, 5.0], [5.0, 5.0])
+        assert value == pytest.approx(0.0, abs=5e-3)
+
+    def test_explicit_support_clips_outliers(self):
+        p = np.array([10.0, 20.0, 30.0, 5000.0])
+        q = np.array([10.0, 20.0, 30.0])
+        bounded = histogram_kl_divergence(p, q, support=(0.0, 100.0))
+        unbounded = histogram_kl_divergence(p, q)
+        assert bounded <= unbounded + 1e-9
+
+    def test_more_bins_resolve_finer_differences(self):
+        rng = np.random.default_rng(5)
+        p = rng.normal(100.0, 10.0, size=5000)
+        q = rng.normal(103.0, 10.0, size=5000)
+        coarse = histogram_kl_divergence(p, q, bins=5)
+        fine = histogram_kl_divergence(p, q, bins=40)
+        assert fine >= coarse - 0.05
+
+
+class TestSymmetricAndJS:
+    def test_symmetric_kl_is_symmetric(self):
+        rng = np.random.default_rng(6)
+        p = rng.normal(100.0, 10.0, size=2000)
+        q = rng.normal(130.0, 25.0, size=2000)
+        assert symmetric_kl_divergence(p, q) == pytest.approx(symmetric_kl_divergence(q, p), rel=1e-9)
+
+    def test_jensen_shannon_is_bounded_by_log2(self):
+        rng = np.random.default_rng(7)
+        p = rng.normal(0.0, 1.0, size=2000)
+        q = rng.normal(1000.0, 1.0, size=2000)
+        value = jensen_shannon_divergence(p, q)
+        assert 0.0 <= value <= np.log(2.0) + 1e-9
+
+    def test_jensen_shannon_zero_for_identical(self):
+        samples = np.linspace(0.0, 100.0, 500)
+        assert jensen_shannon_divergence(samples, samples) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,74 @@
+"""Tests for the QoE and resource-usage metrics (Eqs. 5–6)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.qoe import qoe_from_latencies, resource_usage
+from repro.sim.config import SliceConfig
+
+
+class TestQoE:
+    def test_all_samples_below_threshold_gives_one(self):
+        assert qoe_from_latencies([100.0, 200.0, 299.9], 300.0) == 1.0
+
+    def test_all_samples_above_threshold_gives_zero(self):
+        assert qoe_from_latencies([301.0, 400.0], 300.0) == 0.0
+
+    def test_fraction_is_exact(self):
+        latencies = [100.0, 200.0, 400.0, 500.0]
+        assert qoe_from_latencies(latencies, 300.0) == pytest.approx(0.5)
+
+    def test_boundary_sample_counts_as_satisfied(self):
+        assert qoe_from_latencies([300.0], 300.0) == 1.0
+
+    def test_dropped_frames_count_against_qoe(self):
+        latencies = [100.0, np.nan, np.inf, 200.0]
+        assert qoe_from_latencies(latencies, 300.0) == pytest.approx(0.5)
+
+    def test_empty_collection_gives_zero(self):
+        assert qoe_from_latencies([], 300.0) == 0.0
+
+    def test_invalid_threshold_raises(self):
+        with pytest.raises(ValueError):
+            qoe_from_latencies([100.0], 0.0)
+
+    def test_qoe_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        latencies = rng.exponential(200.0, size=500)
+        value = qoe_from_latencies(latencies, 300.0)
+        assert 0.0 <= value <= 1.0
+
+
+class TestResourceUsage:
+    def test_zero_action_gives_zero(self):
+        assert resource_usage([0, 0, 0], [10, 10, 10]) == 0.0
+
+    def test_full_action_gives_one(self):
+        assert resource_usage([10, 20, 30], [10, 20, 30]) == 1.0
+
+    def test_is_mean_of_fractions(self):
+        assert resource_usage([5, 0], [10, 10]) == pytest.approx(0.25)
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(ValueError):
+            resource_usage([1, 2], [1, 2, 3])
+
+    def test_non_positive_maximum_raises(self):
+        with pytest.raises(ValueError):
+            resource_usage([1], [0])
+
+    def test_values_above_maximum_are_clipped(self):
+        assert resource_usage([20], [10]) == 1.0
+
+    def test_paper_best_configuration_usage_matches_fig17(self):
+        """The paper's best offline action evaluates to ~19.8% usage."""
+        config = SliceConfig(
+            bandwidth_ul=9, bandwidth_dl=3, mcs_offset_ul=0, mcs_offset_dl=0,
+            backhaul_bw=6.2, cpu_ratio=0.8,
+        )
+        assert config.resource_usage() == pytest.approx(0.198, abs=0.02)
+
+    def test_slice_config_usage_is_monotone_in_resources(self):
+        lean = SliceConfig(bandwidth_ul=5, bandwidth_dl=5, backhaul_bw=5, cpu_ratio=0.2)
+        rich = SliceConfig(bandwidth_ul=40, bandwidth_dl=40, backhaul_bw=80, cpu_ratio=0.9)
+        assert rich.resource_usage() > lean.resource_usage()

@@ -1,0 +1,98 @@
+"""Tests for the online-learning regret metrics (Eqs. 10–11)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.regret import (
+    RegretTracker,
+    average_qoe_regret,
+    average_usage_regret,
+    cumulative_qoe_regret,
+    cumulative_usage_regret,
+)
+
+
+class TestCumulativeRegrets:
+    def test_usage_regret_accumulates_excess_usage(self):
+        regret = cumulative_usage_regret([0.3, 0.4, 0.5], optimal_usage=0.2)
+        assert regret == pytest.approx([0.1, 0.3, 0.6])
+
+    def test_usage_regret_can_be_negative(self):
+        regret = cumulative_usage_regret([0.1], optimal_usage=0.2)
+        assert regret[0] == pytest.approx(-0.1)
+
+    def test_qoe_regret_counts_only_shortfalls(self):
+        regret = cumulative_qoe_regret([0.8, 0.95, 0.7], optimal_qoe=0.9)
+        assert regret == pytest.approx([0.1, 0.1, 0.3])
+
+    def test_qoe_regret_is_monotone_non_decreasing(self):
+        rng = np.random.default_rng(0)
+        qoes = rng.uniform(0, 1, size=100)
+        regret = cumulative_qoe_regret(qoes, optimal_qoe=0.9)
+        assert np.all(np.diff(regret) >= -1e-12)
+
+    def test_empty_series_give_empty_arrays(self):
+        assert cumulative_usage_regret([], 0.2).size == 0
+        assert cumulative_qoe_regret([], 0.9).size == 0
+
+    def test_average_regrets_match_cumulative(self):
+        usages = [0.3, 0.5, 0.4]
+        qoes = [0.85, 0.95, 0.6]
+        assert average_usage_regret(usages, 0.2) == pytest.approx(
+            cumulative_usage_regret(usages, 0.2)[-1] / 3
+        )
+        assert average_qoe_regret(qoes, 0.9) == pytest.approx(
+            cumulative_qoe_regret(qoes, 0.9)[-1] / 3
+        )
+
+    def test_average_regret_of_empty_series_is_zero(self):
+        assert average_usage_regret([], 0.2) == 0.0
+        assert average_qoe_regret([], 0.9) == 0.0
+
+
+class TestRegretTracker:
+    def test_record_and_len(self):
+        tracker = RegretTracker()
+        tracker.record(0.3, 0.9)
+        tracker.record(0.4, 0.8)
+        assert len(tracker) == 2
+
+    def test_set_optimum_prefers_feasible_minimum_usage(self):
+        tracker = RegretTracker(qoe_requirement=0.9)
+        tracker.record(0.2, 0.5)   # infeasible but cheap
+        tracker.record(0.4, 0.95)  # feasible
+        tracker.record(0.6, 0.99)  # feasible but expensive
+        tracker.set_optimum_from_best()
+        assert tracker.optimal_usage == pytest.approx(0.4)
+        assert tracker.optimal_qoe == pytest.approx(0.95)
+
+    def test_set_optimum_falls_back_to_best_qoe_when_nothing_feasible(self):
+        tracker = RegretTracker(qoe_requirement=0.9)
+        tracker.record(0.2, 0.5)
+        tracker.record(0.3, 0.7)
+        tracker.set_optimum_from_best()
+        assert tracker.optimal_qoe == pytest.approx(0.7)
+
+    def test_set_optimum_without_requirement_uses_global_minimum_usage(self):
+        tracker = RegretTracker()
+        tracker.record(0.5, 0.3)
+        tracker.record(0.2, 0.1)
+        tracker.set_optimum_from_best()
+        assert tracker.optimal_usage == pytest.approx(0.2)
+
+    def test_set_optimum_on_empty_tracker_raises(self):
+        with pytest.raises(ValueError):
+            RegretTracker().set_optimum_from_best()
+
+    def test_regret_series_lengths_match_records(self):
+        tracker = RegretTracker(optimal_usage=0.2, optimal_qoe=0.9)
+        for _ in range(5):
+            tracker.record(0.3, 0.8)
+        assert len(tracker.usage_regret()) == 5
+        assert len(tracker.qoe_regret()) == 5
+
+    def test_average_regrets_are_scalars(self):
+        tracker = RegretTracker(optimal_usage=0.2, optimal_qoe=0.9)
+        tracker.record(0.3, 0.8)
+        assert tracker.average_usage_regret() == pytest.approx(0.1)
+        assert tracker.average_qoe_regret() == pytest.approx(0.1)

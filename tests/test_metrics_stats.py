@@ -1,0 +1,66 @@
+"""Tests for the latency summary statistics and empirical CDF helpers."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.stats import empirical_cdf, summarize_latencies
+
+
+class TestEmpiricalCdf:
+    def test_cdf_is_sorted_and_reaches_one(self):
+        values, probabilities = empirical_cdf([30.0, 10.0, 20.0])
+        assert list(values) == [10.0, 20.0, 30.0]
+        assert probabilities[-1] == pytest.approx(1.0)
+
+    def test_cdf_is_monotone(self):
+        rng = np.random.default_rng(0)
+        values, probabilities = empirical_cdf(rng.normal(100, 20, size=500))
+        assert np.all(np.diff(values) >= 0)
+        assert np.all(np.diff(probabilities) > 0)
+
+    def test_non_finite_samples_are_excluded(self):
+        values, probabilities = empirical_cdf([10.0, np.nan, np.inf, 20.0])
+        assert len(values) == 2
+
+    def test_empty_input_gives_empty_curve(self):
+        values, probabilities = empirical_cdf([])
+        assert values.size == 0 and probabilities.size == 0
+
+
+class TestSummarizeLatencies:
+    def test_basic_statistics(self):
+        summary = summarize_latencies([100.0, 200.0, 300.0])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(200.0)
+        assert summary.median == pytest.approx(200.0)
+        assert summary.minimum == 100.0
+        assert summary.maximum == 300.0
+        assert summary.drop_rate == 0.0
+
+    def test_percentiles_are_ordered(self):
+        rng = np.random.default_rng(1)
+        summary = summarize_latencies(rng.exponential(100.0, size=1000))
+        assert summary.median <= summary.p90 <= summary.p95 <= summary.p99 <= summary.maximum
+
+    def test_drop_rate_counts_non_finite(self):
+        summary = summarize_latencies([100.0, np.nan, np.inf, 200.0])
+        assert summary.count == 2
+        assert summary.drop_rate == pytest.approx(0.5)
+
+    def test_all_dropped_collection(self):
+        summary = summarize_latencies([np.nan, np.inf])
+        assert summary.count == 0
+        assert summary.drop_rate == 1.0
+        assert np.isnan(summary.mean)
+
+    def test_empty_collection(self):
+        summary = summarize_latencies([])
+        assert summary.count == 0
+        assert summary.drop_rate == 0.0
+
+    def test_as_dict_round_trip(self):
+        summary = summarize_latencies([50.0, 150.0])
+        payload = summary.as_dict()
+        assert payload["count"] == 2
+        assert payload["mean"] == pytest.approx(100.0)
+        assert set(payload) >= {"mean", "std", "median", "p90", "p95", "p99", "min", "max"}

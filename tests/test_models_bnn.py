@@ -1,0 +1,112 @@
+"""Tests for the Bayesian neural network (Bayes-by-Backprop) surrogate."""
+
+import numpy as np
+import pytest
+
+from repro.models.bnn import BayesianNeuralNetwork, softplus, softplus_grad
+
+
+class TestSoftplus:
+    def test_softplus_is_positive_and_monotone(self):
+        values = np.array([-10.0, -1.0, 0.0, 1.0, 10.0])
+        result = softplus(values)
+        assert np.all(result > 0)
+        assert np.all(np.diff(result) > 0)
+
+    def test_softplus_grad_is_sigmoid(self):
+        assert softplus_grad(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_softplus_large_input_is_stable(self):
+        assert np.isfinite(softplus(np.array([500.0]))[0])
+
+
+@pytest.fixture(scope="module")
+def trained_bnn():
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-1, 1, size=(250, 2))
+    y = np.sin(2.0 * x[:, 0]) + 0.5 * x[:, 1]
+    model = BayesianNeuralNetwork(input_dim=2, hidden_layers=(32, 32), seed=0)
+    model.fit(x, y, epochs=250)
+    return model, x, y
+
+
+class TestBayesianNeuralNetwork:
+    def test_fit_and_predict_accuracy(self, trained_bnn):
+        model, x, y = trained_bnn
+        mean, _ = model.predict(x, n_samples=25)
+        assert np.corrcoef(mean, y)[0, 1] > 0.9
+
+    def test_predict_returns_positive_std(self, trained_bnn):
+        model, x, _ = trained_bnn
+        _, std = model.predict(x[:20], n_samples=25)
+        assert std.shape == (20,)
+        assert np.all(std >= 0)
+
+    def test_uncertainty_larger_away_from_data(self, trained_bnn):
+        model, x, _ = trained_bnn
+        _, std_in = model.predict(x[:50], n_samples=30)
+        far = np.full((50, 2), 5.0)
+        _, std_out = model.predict(far, n_samples=30)
+        assert std_out.mean() > std_in.mean()
+
+    def test_sample_function_is_deterministic_once_drawn(self, trained_bnn):
+        model, x, _ = trained_bnn
+        draw = model.sample_function()
+        assert np.allclose(draw(x[:10]), draw(x[:10]))
+
+    def test_different_samples_differ(self, trained_bnn):
+        model, x, _ = trained_bnn
+        first = model.sample_predict(x[:30])
+        second = model.sample_predict(x[:30])
+        assert not np.allclose(first, second)
+
+    def test_mean_predict_close_to_mc_mean(self, trained_bnn):
+        model, x, _ = trained_bnn
+        mc_mean, _ = model.predict(x[:40], n_samples=60)
+        point_mean = model.mean_predict(x[:40])
+        assert np.mean(np.abs(mc_mean - point_mean)) < 0.25
+
+    def test_use_before_fit_raises(self):
+        model = BayesianNeuralNetwork(input_dim=2)
+        with pytest.raises(RuntimeError):
+            model.predict([[0.0, 0.0]])
+        with pytest.raises(RuntimeError):
+            model.sample_function()
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            BayesianNeuralNetwork(input_dim=0)
+        with pytest.raises(ValueError):
+            BayesianNeuralNetwork(input_dim=2, prior_sigma=0.0)
+        with pytest.raises(ValueError):
+            BayesianNeuralNetwork(input_dim=2, noise_sigma=-1.0)
+
+    def test_input_dimension_mismatch_raises(self):
+        model = BayesianNeuralNetwork(input_dim=3)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((5, 2)), np.zeros(5))
+
+    def test_loss_history_decreases(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, size=(150, 1))
+        y = 2.0 * x[:, 0]
+        model = BayesianNeuralNetwork(input_dim=1, hidden_layers=(16,), seed=1)
+        model.fit(x, y, epochs=120)
+        assert model.loss_history[-1] < model.loss_history[0]
+
+    def test_continual_fit_refines_predictions(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-1, 1, size=(120, 1))
+        y = x[:, 0] ** 2
+        model = BayesianNeuralNetwork(input_dim=1, hidden_layers=(24,), seed=2)
+        model.fit(x, y, epochs=60)
+        first_error = np.mean((model.mean_predict(x) - y) ** 2)
+        model.fit(x, y, epochs=200)
+        second_error = np.mean((model.mean_predict(x) - y) ** 2)
+        assert second_error <= first_error * 1.5
+
+    def test_is_fitted_flag(self):
+        model = BayesianNeuralNetwork(input_dim=1, hidden_layers=(8,), seed=3)
+        assert not model.is_fitted
+        model.fit(np.zeros((4, 1)), np.zeros(4), epochs=2)
+        assert model.is_fitted

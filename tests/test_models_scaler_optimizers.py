@@ -1,0 +1,88 @@
+"""Tests for the StandardScaler and the gradient-descent optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.models.optimizers import AdadeltaOptimizer, AdamOptimizer, make_optimizer
+from repro.models.scaler import StandardScaler
+
+
+class TestStandardScaler:
+    def test_transform_gives_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(50.0, 7.0, size=(200, 3))
+        scaler = StandardScaler().fit(data)
+        transformed = scaler.transform(data)
+        assert np.allclose(transformed.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(transformed.std(axis=0), 1.0, atol=1e-9)
+
+    def test_inverse_transform_round_trip(self):
+        rng = np.random.default_rng(1)
+        data = rng.uniform(-10, 10, size=(50, 4))
+        scaler = StandardScaler().fit(data)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(data)), data)
+
+    def test_constant_column_does_not_produce_nan(self):
+        data = np.column_stack([np.ones(10), np.arange(10.0)])
+        scaler = StandardScaler().fit(data)
+        transformed = scaler.transform(data)
+        assert np.all(np.isfinite(transformed))
+
+    def test_inverse_transform_std_scales_without_shift(self):
+        data = np.array([[0.0], [10.0]])
+        scaler = StandardScaler().fit(data)
+        assert scaler.inverse_transform_std([[1.0]])[0, 0] == pytest.approx(5.0)
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform([[1.0]])
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros((0, 2)))
+
+    def test_is_fitted_flag(self):
+        scaler = StandardScaler()
+        assert not scaler.is_fitted
+        scaler.fit([[1.0], [2.0]])
+        assert scaler.is_fitted
+
+
+def _quadratic_loss_and_grad(params):
+    target = np.array([3.0, -2.0, 0.5])
+    value = params[0] - target
+    return float(np.sum(value**2)), [2.0 * value]
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("optimizer_cls, lr", [(AdamOptimizer, 0.05), (AdadeltaOptimizer, 1.0)])
+    def test_optimizers_minimize_a_quadratic(self, optimizer_cls, lr):
+        params = [np.zeros(3)]
+        optimizer = optimizer_cls(params, learning_rate=lr)
+        for _ in range(800):
+            _, grads = _quadratic_loss_and_grad(params)
+            optimizer.step(grads)
+        assert np.allclose(params[0], [3.0, -2.0, 0.5], atol=0.1)
+
+    def test_step_with_wrong_gradient_count_raises(self):
+        optimizer = AdamOptimizer([np.zeros(2)])
+        with pytest.raises(ValueError):
+            optimizer.step([np.zeros(2), np.zeros(2)])
+        adadelta = AdadeltaOptimizer([np.zeros(2)])
+        with pytest.raises(ValueError):
+            adadelta.step([])
+
+    def test_make_optimizer_by_name(self):
+        params = [np.zeros(1)]
+        assert isinstance(make_optimizer("adam", params, 0.01), AdamOptimizer)
+        assert isinstance(make_optimizer("Adadelta", params, 1.0), AdadeltaOptimizer)
+        with pytest.raises(ValueError):
+            make_optimizer("sgd", params, 0.01)
+
+    def test_updates_are_in_place(self):
+        params = [np.ones(2)]
+        original = params[0]
+        optimizer = AdamOptimizer(params, learning_rate=0.1)
+        optimizer.step([np.ones(2)])
+        assert params[0] is original
+        assert not np.allclose(original, 1.0)

@@ -1,0 +1,152 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.penalty import AdaptiveMultiplier
+from repro.core.spaces import ConfigurationSpace, SimulationParameterSpace
+from repro.metrics.kl import histogram_kl_divergence, jensen_shannon_divergence
+from repro.metrics.qoe import qoe_from_latencies
+from repro.metrics.regret import cumulative_qoe_regret
+from repro.models.scaler import StandardScaler
+from repro.sim.config import CONFIG_BOUNDS, CONFIG_NAMES, SliceConfig
+from repro.sim.lte import MAX_MCS, expected_transmissions, select_mcs, spectral_efficiency
+from repro.sim.parameters import SimulationParameters
+
+
+latency_arrays = hnp.arrays(
+    dtype=float,
+    shape=st.integers(min_value=1, max_value=200),
+    elements=st.floats(min_value=0.1, max_value=5000.0, allow_nan=False),
+)
+
+
+@given(latency_arrays, latency_arrays)
+@settings(max_examples=50, deadline=None)
+def test_kl_divergence_is_non_negative_and_finite(p, q):
+    value = histogram_kl_divergence(p, q)
+    assert np.isfinite(value)
+    assert value >= -1e-12
+
+
+@given(latency_arrays)
+@settings(max_examples=30, deadline=None)
+def test_kl_divergence_of_collection_with_itself_is_zero(samples):
+    assert histogram_kl_divergence(samples, samples) < 1e-9
+
+
+@given(latency_arrays, latency_arrays)
+@settings(max_examples=30, deadline=None)
+def test_jensen_shannon_is_symmetric_and_bounded(p, q):
+    forward = jensen_shannon_divergence(p, q)
+    backward = jensen_shannon_divergence(q, p)
+    assert abs(forward - backward) < 1e-9
+    assert -1e-12 <= forward <= np.log(2.0) + 1e-9
+
+
+@given(latency_arrays, st.floats(min_value=1.0, max_value=2000.0))
+@settings(max_examples=50, deadline=None)
+def test_qoe_is_a_probability_and_monotone_in_threshold(latencies, threshold):
+    qoe = qoe_from_latencies(latencies, threshold)
+    assert 0.0 <= qoe <= 1.0
+    assert qoe <= qoe_from_latencies(latencies, threshold * 2.0) + 1e-12
+
+
+@given(
+    hnp.arrays(dtype=float, shape=st.integers(1, 50),
+               elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False)),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_qoe_regret_is_monotone_and_non_negative(qoes, optimal):
+    regret = cumulative_qoe_regret(qoes, optimal)
+    assert np.all(regret >= -1e-12)
+    assert np.all(np.diff(regret) >= -1e-12)
+
+
+@given(hnp.arrays(dtype=float, shape=st.tuples(st.integers(2, 40), st.integers(1, 5)),
+                  elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)))
+@settings(max_examples=50, deadline=None)
+def test_scaler_round_trip(data):
+    scaler = StandardScaler().fit(data)
+    recovered = scaler.inverse_transform(scaler.transform(data))
+    assert np.allclose(recovered, data, atol=1e-6 * (1 + np.abs(data).max()))
+
+
+config_vectors = hnp.arrays(
+    dtype=float, shape=6,
+    elements=st.floats(min_value=-1000.0, max_value=1000.0, allow_nan=False),
+)
+
+
+@given(config_vectors)
+@settings(max_examples=100, deadline=None)
+def test_slice_config_from_array_always_within_bounds(vector):
+    config = SliceConfig.from_array(vector)
+    for name in CONFIG_NAMES:
+        lo, hi = CONFIG_BOUNDS[name]
+        assert lo <= getattr(config, name) <= hi
+    assert 0.0 <= config.resource_usage() <= 1.0
+
+
+@given(hnp.arrays(dtype=float, shape=7,
+                  elements=st.floats(min_value=-1000.0, max_value=1000.0, allow_nan=False)))
+@settings(max_examples=100, deadline=None)
+def test_simulation_parameters_from_array_always_valid(vector):
+    params = SimulationParameters.from_array(vector)
+    assert params.distance_to(SimulationParameters.defaults()) >= 0.0
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1), st.integers(min_value=1, max_value=64))
+@settings(max_examples=30, deadline=None)
+def test_configuration_space_sampling_and_normalisation(seed, count):
+    space = ConfigurationSpace()
+    rng = np.random.default_rng(seed)
+    samples = space.sample(count, rng)
+    unit = space.normalize(samples)
+    assert np.all((unit >= -1e-12) & (unit <= 1 + 1e-12))
+    assert np.allclose(space.denormalize(unit), samples)
+    usage = space.resource_usage(samples)
+    assert np.all((usage >= 0) & (usage <= 1))
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_parameter_space_feasible_sampling_respects_constraint(seed):
+    space = SimulationParameterSpace(distance_threshold=0.12)
+    samples = space.sample_feasible(20, np.random.default_rng(seed))
+    assert np.all(space.parameter_distance(samples) <= 0.12 + 1e-9)
+    lows, highs = SimulationParameters.bounds_arrays()
+    assert np.all(samples >= lows - 1e-9) and np.all(samples <= highs + 1e-9)
+
+
+@given(st.floats(min_value=-50.0, max_value=80.0), st.integers(min_value=0, max_value=10))
+@settings(max_examples=100, deadline=None)
+def test_mcs_selection_is_within_range_and_monotone_in_offset(sinr, offset):
+    mcs = select_mcs(sinr, offset)
+    assert 0 <= mcs <= MAX_MCS
+    assert mcs <= select_mcs(sinr, 0)
+    assert spectral_efficiency(mcs) >= 0.0
+
+
+@given(st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=100, deadline=None)
+def test_expected_transmissions_bounded_between_one_and_max(bler):
+    value = expected_transmissions(bler, max_attempts=4)
+    assert 1.0 - 1e-9 <= value <= 4.0 + 1e-9
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=50),
+    st.floats(min_value=0.05, max_value=0.95),
+    st.floats(min_value=0.01, max_value=1.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_multiplier_stays_non_negative_under_any_update_sequence(qoes, requirement, step):
+    multiplier = AdaptiveMultiplier(step_size=step)
+    for qoe in qoes:
+        value = multiplier.update(qoe, requirement)
+        assert value >= 0.0
+    assert len(multiplier.history) == len(qoes) + 1

@@ -1,0 +1,154 @@
+"""Tests for the radio channel models and the LTE PHY/MAC abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.sim.channel import (
+    PRB_BANDWIDTH_HZ,
+    LogDistancePathloss,
+    ShadowFading,
+    sinr_db,
+    thermal_noise_dbm,
+)
+from repro.sim.lte import (
+    MAX_MCS,
+    LinkAdaptation,
+    block_error_rate,
+    cqi_from_sinr,
+    expected_transmissions,
+    mcs_from_cqi,
+    prb_rate_bps,
+    select_mcs,
+    spectral_efficiency,
+)
+
+
+class TestPathloss:
+    def test_reference_distance_gives_reference_loss(self):
+        model = LogDistancePathloss(reference_loss_db=38.57, exponent=3.0)
+        assert model.loss_db(1.0) == pytest.approx(38.57)
+
+    def test_loss_increases_with_distance(self):
+        model = LogDistancePathloss()
+        assert model.loss_db(10.0) > model.loss_db(2.0) > model.loss_db(1.0)
+
+    def test_ten_times_distance_adds_10n_db(self):
+        model = LogDistancePathloss(reference_loss_db=40.0, exponent=3.0)
+        assert model.loss_db(10.0) - model.loss_db(1.0) == pytest.approx(30.0)
+
+    def test_distance_below_reference_is_clamped(self):
+        model = LogDistancePathloss()
+        assert model.loss_db(0.5) == pytest.approx(model.loss_db(1.0))
+
+    def test_non_positive_distance_raises(self):
+        with pytest.raises(ValueError):
+            LogDistancePathloss().loss_db(0.0)
+
+
+class TestShadowFading:
+    def test_zero_std_returns_zero(self):
+        fading = ShadowFading(std_db=0.0)
+        assert fading.sample_db() == 0.0
+
+    def test_samples_have_requested_spread(self):
+        fading = ShadowFading(std_db=3.0, rng=np.random.default_rng(0))
+        samples = np.array([fading.sample_db() for _ in range(2000)])
+        assert 2.5 < samples.std() < 3.5
+
+    def test_deep_fades_add_extra_loss(self):
+        always = ShadowFading(std_db=0.0, deep_fade_probability=1.0, deep_fade_db=12.0,
+                              rng=np.random.default_rng(1))
+        assert always.sample_db() == pytest.approx(12.0)
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            ShadowFading(std_db=-1.0)
+        with pytest.raises(ValueError):
+            ShadowFading(deep_fade_probability=1.5)
+
+
+class TestSinr:
+    def test_thermal_noise_grows_with_bandwidth_and_noise_figure(self):
+        narrow = thermal_noise_dbm(PRB_BANDWIDTH_HZ, 5.0)
+        wide = thermal_noise_dbm(50 * PRB_BANDWIDTH_HZ, 5.0)
+        noisy = thermal_noise_dbm(PRB_BANDWIDTH_HZ, 9.0)
+        assert wide > narrow
+        assert noisy == pytest.approx(narrow + 4.0)
+
+    def test_sinr_decreases_with_pathloss_and_fading(self):
+        base = sinr_db(23.0, 40.0, 0.0, 10 * PRB_BANDWIDTH_HZ, 5.0)
+        faded = sinr_db(23.0, 40.0, 6.0, 10 * PRB_BANDWIDTH_HZ, 5.0)
+        far = sinr_db(23.0, 80.0, 0.0, 10 * PRB_BANDWIDTH_HZ, 5.0)
+        assert faded == pytest.approx(base - 6.0)
+        assert far < base
+
+    def test_interference_lowers_sinr(self):
+        clean = sinr_db(23.0, 40.0, 0.0, 10 * PRB_BANDWIDTH_HZ, 5.0)
+        interfered = sinr_db(23.0, 40.0, 0.0, 10 * PRB_BANDWIDTH_HZ, 5.0, interference_dbm=-90.0)
+        assert interfered < clean
+
+    def test_invalid_bandwidth_raises(self):
+        with pytest.raises(ValueError):
+            thermal_noise_dbm(0.0, 5.0)
+
+
+class TestLinkAdaptation:
+    def test_cqi_increases_with_sinr(self):
+        assert cqi_from_sinr(-10.0) == 0
+        assert cqi_from_sinr(0.0) > cqi_from_sinr(-5.0)
+        assert cqi_from_sinr(30.0) == 15
+
+    def test_mcs_from_cqi_covers_full_range(self):
+        assert mcs_from_cqi(0) == 0
+        assert mcs_from_cqi(15) == MAX_MCS
+        assert mcs_from_cqi(8) < mcs_from_cqi(12)
+
+    def test_select_mcs_applies_offset(self):
+        high = select_mcs(40.0, mcs_offset=0)
+        reduced = select_mcs(40.0, mcs_offset=5)
+        assert high == MAX_MCS
+        assert reduced == MAX_MCS - 5
+        assert select_mcs(40.0, mcs_offset=100) == 0
+
+    def test_spectral_efficiency_monotone_in_mcs(self):
+        efficiencies = [spectral_efficiency(m) for m in range(MAX_MCS + 1)]
+        assert all(b >= a - 1e-9 for a, b in zip(efficiencies, efficiencies[1:]))
+        assert efficiencies[-1] == pytest.approx(5.5547, rel=1e-3)
+
+    def test_prb_rate_scales_linearly_with_prbs(self):
+        rate_10 = prb_rate_bps(10, MAX_MCS, 0.4)
+        rate_50 = prb_rate_bps(50, MAX_MCS, 0.4)
+        assert rate_50 == pytest.approx(5 * rate_10)
+
+    def test_full_carrier_matches_table1_throughput(self):
+        """50 PRBs at top MCS should give roughly the paper's 10 MHz throughput."""
+        ul = prb_rate_bps(50, MAX_MCS, 0.40) / 1e6
+        dl = prb_rate_bps(50, MAX_MCS, 0.65) / 1e6
+        assert 18.0 < ul < 22.0
+        assert 30.0 < dl < 35.0
+
+    def test_prb_rate_edge_cases(self):
+        assert prb_rate_bps(0, 10) == 0.0
+        with pytest.raises(ValueError):
+            prb_rate_bps(10, 10, efficiency_factor=0.0)
+
+    def test_bler_decreases_with_sinr_and_has_floor(self):
+        high_sinr = block_error_rate(60.0, 20, floor=4e-3)
+        low_sinr = block_error_rate(-5.0, 20, floor=4e-3)
+        assert low_sinr > high_sinr
+        assert high_sinr == pytest.approx(4e-3, rel=0.2)
+
+    def test_bler_increases_with_mcs_at_fixed_sinr(self):
+        assert block_error_rate(8.0, 25) > block_error_rate(8.0, 5)
+
+    def test_expected_transmissions_bounds(self):
+        assert expected_transmissions(0.0) == pytest.approx(1.0)
+        assert expected_transmissions(1.0) == pytest.approx(4.0)
+        mid = expected_transmissions(0.5)
+        assert 1.0 < mid < 4.0
+        with pytest.raises(ValueError):
+            expected_transmissions(1.5)
+
+    def test_residual_error_rate_is_bler_to_the_fourth(self):
+        link = LinkAdaptation(sinr_db=10.0, mcs=10, n_prbs=10, rate_bps=1e6, bler=0.1)
+        assert link.residual_error_rate == pytest.approx(1e-4)

@@ -1,0 +1,216 @@
+"""Tests for the individual network-path components: RAN, backhaul, core, edge, traffic."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import SliceConfig
+from repro.sim.core_network import CoreNetwork
+from repro.sim.edge import MINIMUM_CPU_RATIO, EdgeServer
+from repro.sim.events import EventScheduler
+from repro.sim.imperfections import Imperfections
+from repro.sim.parameters import SimulationParameters
+from repro.sim.ran import RadioAccessNetwork
+from repro.sim.scenario import Scenario
+from repro.sim.traffic import BackgroundTrafficModel, FrameSizeModel
+from repro.sim.transport import MINIMUM_BACKHAUL_MBPS, BackhaulLink
+
+
+def _make_ran(config=None, scenario=None, params=None, imperfections=None, isolation=True, seed=0):
+    return RadioAccessNetwork(
+        EventScheduler(),
+        scenario if scenario is not None else Scenario(),
+        params if params is not None else SimulationParameters.defaults(),
+        config if config is not None else SliceConfig(),
+        imperfections,
+        np.random.default_rng(seed),
+        isolation,
+    )
+
+
+class TestRadioAccessNetwork:
+    def test_uplink_rate_grows_with_prbs(self):
+        lean = _make_ran(SliceConfig(bandwidth_ul=6))
+        rich = _make_ran(SliceConfig(bandwidth_ul=50))
+        assert rich.uplink_adaptation().rate_bps > lean.uplink_adaptation().rate_bps
+
+    def test_mcs_offset_reduces_rate(self):
+        base = _make_ran(SliceConfig(mcs_offset_ul=0))
+        offset = _make_ran(SliceConfig(mcs_offset_ul=10))
+        assert offset.uplink_adaptation().rate_bps < base.uplink_adaptation().rate_bps
+
+    def test_larger_distance_lowers_sinr(self):
+        near = _make_ran(scenario=Scenario(distance_m=1.0))
+        far = _make_ran(scenario=Scenario(distance_m=50.0))
+        assert far.uplink_adaptation().sinr_db < near.uplink_adaptation().sinr_db
+
+    def test_higher_baseline_loss_lowers_sinr(self):
+        default = _make_ran()
+        lossy = _make_ran(params=SimulationParameters(baseline_loss=49.0))
+        assert lossy.uplink_adaptation().sinr_db < default.uplink_adaptation().sinr_db
+
+    def test_rate_derate_imperfection_reduces_rate(self):
+        ideal = _make_ran()
+        derated = _make_ran(imperfections=Imperfections(ul_rate_derate=0.8))
+        assert derated.uplink_adaptation().rate_bps == pytest.approx(
+            0.8 * ideal.uplink_adaptation().rate_bps, rel=1e-6
+        )
+
+    def test_isolation_protects_slice_prbs(self):
+        scenario = Scenario(extra_users=3)
+        isolated = _make_ran(scenario=scenario, isolation=True)
+        shared = _make_ran(scenario=scenario, isolation=False)
+        assert isolated.uplink_adaptation().n_prbs > shared.uplink_adaptation().n_prbs
+
+    def test_saturation_throughput_close_to_table1(self):
+        ran = _make_ran()
+        assert 18.0 < ran.saturation_throughput_mbps(uplink=True) < 22.0
+        assert 29.0 < ran.saturation_throughput_mbps(uplink=False) < 35.0
+
+    def test_packet_error_counters_start_at_zero(self):
+        ran = _make_ran()
+        assert ran.uplink_packet_error_rate() == 0.0
+        assert ran.downlink_packet_error_rate() == 0.0
+
+    def test_connectivity_minimum_is_enforced(self):
+        ran = _make_ran(SliceConfig(bandwidth_ul=0, bandwidth_dl=0))
+        assert ran.uplink_adaptation().n_prbs >= 6
+        assert ran.downlink_adaptation().n_prbs >= 3
+
+
+class TestBackhaulLink:
+    def test_capacity_is_config_plus_parameter(self):
+        link = BackhaulLink(
+            EventScheduler(),
+            SimulationParameters(backhaul_bw=5.0),
+            SliceConfig(backhaul_bw=10.0),
+            np.random.default_rng(0),
+        )
+        assert link.capacity_mbps == pytest.approx(15.0)
+
+    def test_capacity_has_floor(self):
+        link = BackhaulLink(
+            EventScheduler(),
+            SimulationParameters(),
+            SliceConfig(backhaul_bw=0.0),
+            np.random.default_rng(0),
+        )
+        assert link.capacity_mbps == MINIMUM_BACKHAUL_MBPS
+
+    def test_serialization_time_scales_with_size_and_rate(self):
+        link = BackhaulLink(
+            EventScheduler(), SimulationParameters(), SliceConfig(backhaul_bw=10.0),
+            np.random.default_rng(0),
+        )
+        assert link._serialization_time_s(10_000) == pytest.approx(2 * link._serialization_time_s(5_000))
+
+    def test_backhaul_delay_parameter_adds_propagation(self):
+        fast = BackhaulLink(EventScheduler(), SimulationParameters(), SliceConfig(),
+                            np.random.default_rng(0), jitter_ms=0.0)
+        slow = BackhaulLink(EventScheduler(), SimulationParameters(backhaul_delay=15.0),
+                            SliceConfig(), np.random.default_rng(0), jitter_ms=0.0)
+        assert slow._propagation_delay_s() == pytest.approx(fast._propagation_delay_s() + 0.015)
+
+
+class TestCoreNetwork:
+    def test_forwarding_delay_is_positive_and_small(self):
+        core = CoreNetwork(EventScheduler(), np.random.default_rng(0))
+        delay = core._forwarding_delay_s()
+        assert 0.0 < delay < 0.01
+
+    def test_negative_delays_raise(self):
+        with pytest.raises(ValueError):
+            CoreNetwork(EventScheduler(), forwarding_delay_ms=-1.0)
+
+
+class _FakeFrame:
+    compute_time_ms = 0.0
+
+
+class TestEdgeServer:
+    def _make(self, cpu_ratio, params=None, imperfections=None, seed=0):
+        return EdgeServer(
+            EventScheduler(),
+            Scenario(),
+            params if params is not None else SimulationParameters.defaults(),
+            SliceConfig(cpu_ratio=cpu_ratio),
+            imperfections,
+            np.random.default_rng(seed),
+        )
+
+    def test_lower_cpu_ratio_means_longer_compute(self):
+        fast = self._make(1.0)
+        slow = self._make(0.25)
+        fast_times = [fast._compute_time_s(_FakeFrame()) for _ in range(200)]
+        slow_times = [slow._compute_time_s(_FakeFrame()) for _ in range(200)]
+        assert np.mean(slow_times) > 3.0 * np.mean(fast_times)
+
+    def test_cpu_ratio_floor(self):
+        server = self._make(0.0)
+        assert server.effective_cpu_ratio == MINIMUM_CPU_RATIO
+
+    def test_compute_time_parameter_adds_constant(self):
+        base = self._make(1.0, seed=1)
+        extra = self._make(1.0, params=SimulationParameters(compute_time=25.0), seed=1)
+        base_mean = np.mean([base._compute_time_s(_FakeFrame()) for _ in range(300)])
+        extra_mean = np.mean([extra._compute_time_s(_FakeFrame()) for _ in range(300)])
+        assert extra_mean == pytest.approx(base_mean + 0.025, abs=0.01)
+
+    def test_compute_slowdown_imperfection(self):
+        base = self._make(1.0, seed=2)
+        slowed = self._make(1.0, imperfections=Imperfections(compute_slowdown=1.5), seed=2)
+        base_mean = np.mean([base._compute_time_s(_FakeFrame()) for _ in range(300)])
+        slowed_mean = np.mean([slowed._compute_time_s(_FakeFrame()) for _ in range(300)])
+        assert slowed_mean > 1.3 * base_mean
+
+    def test_mean_compute_time_matches_measurement(self):
+        server = self._make(1.0, seed=3)
+        times_ms = [server._compute_time_s(_FakeFrame()) * 1e3 for _ in range(500)]
+        assert 70.0 < np.mean(times_ms) < 95.0
+
+
+class TestTrafficModels:
+    def test_frame_sizes_match_paper_statistics(self):
+        model = FrameSizeModel(Scenario(), np.random.default_rng(0))
+        sizes = np.array([model.sample_frame_bytes() for _ in range(2000)])
+        assert 26_000 < sizes.mean() < 31_000
+        assert sizes.min() >= 0.2 * 28_800
+
+    def test_result_sizes_are_positive_and_small(self):
+        model = FrameSizeModel(Scenario(), np.random.default_rng(1))
+        sizes = np.array([model.sample_result_bytes() for _ in range(500)])
+        assert np.all(sizes > 0)
+        assert sizes.mean() < 5_000
+
+    def test_background_traffic_scales_with_users(self):
+        none = BackgroundTrafficModel(0)
+        few = BackgroundTrafficModel(2, rng=np.random.default_rng(2))
+        many = BackgroundTrafficModel(8, rng=np.random.default_rng(2))
+        assert none.offered_load_mbps() == 0.0
+        assert many.offered_load_mbps() > few.offered_load_mbps()
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            BackgroundTrafficModel(-1)
+        with pytest.raises(ValueError):
+            BackgroundTrafficModel(1, per_user_rate_mbps=0.0)
+
+
+class TestImperfections:
+    def test_neutral_defaults(self):
+        assert Imperfections.none() == Imperfections()
+
+    def test_replace(self):
+        imperfections = Imperfections().replace(spike_probability=0.5)
+        assert imperfections.spike_probability == 0.5
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ValueError):
+            Imperfections(fading_std_db=-1.0)
+        with pytest.raises(ValueError):
+            Imperfections(spike_probability=2.0)
+        with pytest.raises(ValueError):
+            Imperfections(ul_rate_derate=0.0)
+        with pytest.raises(ValueError):
+            Imperfections(compute_slowdown=0.0)
+        with pytest.raises(ValueError):
+            Imperfections(spike_ms_range=(50.0, 10.0))

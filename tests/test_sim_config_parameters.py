@@ -1,0 +1,151 @@
+"""Tests for the configuration (Table 2) and simulation-parameter (Table 3) types."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import (
+    CONFIG_BOUNDS,
+    CONFIG_NAMES,
+    MIN_DOWNLINK_PRBS,
+    MIN_UPLINK_PRBS,
+    SliceConfig,
+)
+from repro.sim.parameters import PARAMETER_BOUNDS, PARAMETER_NAMES, SimulationParameters
+from repro.sim.scenario import Scenario
+
+
+class TestSliceConfig:
+    def test_round_trip_through_array(self):
+        config = SliceConfig(bandwidth_ul=12, bandwidth_dl=7, mcs_offset_ul=3,
+                             mcs_offset_dl=1, backhaul_bw=22.5, cpu_ratio=0.35)
+        assert SliceConfig.from_array(config.to_array()) == config
+
+    def test_array_order_matches_table2(self):
+        config = SliceConfig(bandwidth_ul=1, bandwidth_dl=2, mcs_offset_ul=3,
+                             mcs_offset_dl=4, backhaul_bw=5, cpu_ratio=0.6)
+        assert list(config.to_array()) == [1, 2, 3, 4, 5, 0.6]
+        assert CONFIG_NAMES[0] == "bandwidth_ul" and CONFIG_NAMES[-1] == "cpu_ratio"
+
+    def test_out_of_range_construction_raises(self):
+        with pytest.raises(ValueError):
+            SliceConfig(bandwidth_ul=60)
+        with pytest.raises(ValueError):
+            SliceConfig(cpu_ratio=-0.1)
+        with pytest.raises(ValueError):
+            SliceConfig(backhaul_bw=float("nan"))
+
+    def test_from_array_clips_to_bounds(self):
+        config = SliceConfig.from_array([999, -5, 20, 3, 500, 2.0])
+        assert config.bandwidth_ul == CONFIG_BOUNDS["bandwidth_ul"][1]
+        assert config.bandwidth_dl == 0.0
+        assert config.mcs_offset_ul == CONFIG_BOUNDS["mcs_offset_ul"][1]
+        assert config.cpu_ratio == 1.0
+
+    def test_from_array_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            SliceConfig.from_array([1, 2, 3])
+
+    def test_normalized_round_trip(self):
+        config = SliceConfig(bandwidth_ul=25, bandwidth_dl=25, mcs_offset_ul=5,
+                             mcs_offset_dl=5, backhaul_bw=50, cpu_ratio=0.5)
+        normalized = config.to_normalized()
+        assert np.allclose(normalized, 0.5)
+        assert SliceConfig.from_normalized(normalized) == config
+
+    def test_maximum_configuration_usage(self):
+        maximum = SliceConfig.maximum()
+        # MCS offsets are zero in the maximum config, so usage is 4/6.
+        assert maximum.resource_usage() == pytest.approx(4.0 / 6.0)
+
+    def test_effective_prbs_enforce_connectivity_minimum(self):
+        config = SliceConfig(bandwidth_ul=0, bandwidth_dl=0)
+        assert config.effective_uplink_prbs() == MIN_UPLINK_PRBS
+        assert config.effective_downlink_prbs() == MIN_DOWNLINK_PRBS
+
+    def test_replace_returns_modified_copy(self):
+        config = SliceConfig()
+        changed = config.replace(cpu_ratio=0.9)
+        assert changed.cpu_ratio == 0.9
+        assert config.cpu_ratio != 0.9
+
+    def test_resource_usage_bounds(self):
+        zero = SliceConfig(bandwidth_ul=0, bandwidth_dl=0, mcs_offset_ul=0,
+                           mcs_offset_dl=0, backhaul_bw=0, cpu_ratio=0)
+        assert zero.resource_usage() == 0.0
+        assert 0.0 <= SliceConfig().resource_usage() <= 1.0
+
+
+class TestSimulationParameters:
+    def test_defaults_match_table4_original_row(self):
+        defaults = SimulationParameters.defaults()
+        assert list(defaults.to_array()) == pytest.approx([38.57, 5.0, 9.0, 0.0, 0.0, 0.0, 0.0])
+
+    def test_round_trip_through_array(self):
+        params = SimulationParameters(39.0, 2.0, 8.0, 5.0, 9.0, 6.0, 6.5)
+        assert SimulationParameters.from_array(params.to_array()) == params
+
+    def test_order_matches_table3(self):
+        assert PARAMETER_NAMES[0] == "baseline_loss"
+        assert PARAMETER_NAMES[-1] == "loading_time"
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            SimulationParameters(baseline_loss=10.0)
+        with pytest.raises(ValueError):
+            SimulationParameters(compute_time=-1.0)
+
+    def test_from_array_clips(self):
+        params = SimulationParameters.from_array([100, -5, 50, 100, 100, 100, 100])
+        for name in PARAMETER_NAMES:
+            lo, hi = PARAMETER_BOUNDS[name]
+            assert lo <= getattr(params, name) <= hi
+
+    def test_from_array_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            SimulationParameters.from_array([1.0, 2.0])
+
+    def test_bounds_arrays_are_consistent(self):
+        lows, highs = SimulationParameters.bounds_arrays()
+        assert np.all(highs > lows)
+        assert len(lows) == len(PARAMETER_NAMES)
+
+    def test_distance_to_is_zero_for_identical(self):
+        params = SimulationParameters.defaults()
+        assert params.distance_to(params) == 0.0
+
+    def test_distance_is_symmetric_and_positive(self):
+        a = SimulationParameters.defaults()
+        b = SimulationParameters(39.0, 2.0, 8.0, 5.0, 9.0, 6.0, 6.5)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+        assert a.distance_to(b) > 0
+
+    def test_replace(self):
+        params = SimulationParameters.defaults().replace(compute_time=12.0)
+        assert params.compute_time == 12.0
+        assert params.baseline_loss == 38.57
+
+
+class TestScenario:
+    def test_defaults_match_prototype(self):
+        scenario = Scenario()
+        assert scenario.traffic == 1
+        assert scenario.distance_m == 1.0
+        assert scenario.frame_size_mean_bytes == pytest.approx(28_800.0)
+        assert scenario.compute_time_mean_ms == pytest.approx(81.0)
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ValueError):
+            Scenario(traffic=0)
+        with pytest.raises(ValueError):
+            Scenario(distance_m=0.0)
+        with pytest.raises(ValueError):
+            Scenario(mobility="teleport")
+        with pytest.raises(ValueError):
+            Scenario(extra_users=-1)
+        with pytest.raises(ValueError):
+            Scenario(duration_s=0.0)
+
+    def test_replace_and_state_vector(self):
+        scenario = Scenario().replace(traffic=3, extra_users=2)
+        assert scenario.traffic == 3
+        assert scenario.state_vector() == (3.0, 1.0, 2.0)

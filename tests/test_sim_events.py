@@ -1,0 +1,136 @@
+"""Tests for the discrete-event engine and the FIFO server."""
+
+import pytest
+
+from repro.sim.events import EventScheduler, FifoServer
+
+
+class TestEventScheduler:
+    def test_events_fire_in_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(2.0, lambda: order.append("late"))
+        scheduler.schedule(1.0, lambda: order.append("early"))
+        scheduler.run()
+        assert order == ["early", "late"]
+
+    def test_simultaneous_events_fire_in_insertion_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(1.0, lambda: order.append("first"))
+        scheduler.schedule(1.0, lambda: order.append("second"))
+        scheduler.run()
+        assert order == ["first", "second"]
+
+    def test_clock_advances_to_event_times(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.schedule(0.5, lambda: seen.append(scheduler.now))
+        scheduler.schedule(1.5, lambda: seen.append(scheduler.now))
+        scheduler.run()
+        assert seen == [0.5, 1.5]
+
+    def test_run_until_stops_before_later_events(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(1.0, lambda: fired.append(1))
+        scheduler.schedule(5.0, lambda: fired.append(5))
+        scheduler.run(until=2.0)
+        assert fired == [1]
+        assert scheduler.now == 2.0
+        assert scheduler.pending == 1
+
+    def test_events_can_schedule_more_events(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def chain():
+            fired.append(scheduler.now)
+            if len(fired) < 3:
+                scheduler.schedule(1.0, chain)
+
+        scheduler.schedule(1.0, chain)
+        scheduler.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_cancelled_events_are_skipped(self):
+        scheduler = EventScheduler()
+        fired = []
+        event = scheduler.schedule(1.0, lambda: fired.append("cancelled"))
+        scheduler.schedule(2.0, lambda: fired.append("kept"))
+        scheduler.cancel(event)
+        scheduler.run()
+        assert fired == ["kept"]
+
+    def test_scheduling_in_the_past_raises(self):
+        scheduler = EventScheduler()
+        with pytest.raises(ValueError):
+            scheduler.schedule(-1.0, lambda: None)
+        scheduler.schedule(1.0, lambda: None)
+        scheduler.run()
+        with pytest.raises(ValueError):
+            scheduler.schedule_at(0.5, lambda: None)
+
+    def test_processed_counter(self):
+        scheduler = EventScheduler()
+        for delay in (1.0, 2.0, 3.0):
+            scheduler.schedule(delay, lambda: None)
+        scheduler.run()
+        assert scheduler.processed == 3
+
+
+class TestFifoServer:
+    def test_jobs_are_served_sequentially(self):
+        scheduler = EventScheduler()
+        server = FifoServer(scheduler, service_time_fn=lambda job: 1.0)
+        completions = []
+        for name in ("a", "b", "c"):
+            server.submit(name, lambda job: completions.append((job, scheduler.now)))
+        scheduler.run()
+        assert completions == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_post_delay_does_not_block_next_job(self):
+        scheduler = EventScheduler()
+        server = FifoServer(
+            scheduler, service_time_fn=lambda job: 1.0, post_delay_fn=lambda job: 5.0
+        )
+        completions = []
+        server.submit("a", lambda job: completions.append((job, scheduler.now)))
+        server.submit("b", lambda job: completions.append((job, scheduler.now)))
+        scheduler.run()
+        # Both serialisations finish at t=1 and t=2; deliveries at t=6 and t=7.
+        assert completions == [("a", 6.0), ("b", 7.0)]
+
+    def test_queue_length_and_busy_flag(self):
+        scheduler = EventScheduler()
+        server = FifoServer(scheduler, service_time_fn=lambda job: 1.0)
+        server.submit("a", lambda job: None)
+        server.submit("b", lambda job: None)
+        assert server.is_busy
+        assert server.queue_length == 1
+        scheduler.run()
+        assert not server.is_busy
+        assert server.queue_length == 0
+
+    def test_jobs_served_and_busy_time_accounting(self):
+        scheduler = EventScheduler()
+        server = FifoServer(scheduler, service_time_fn=lambda job: 2.0)
+        for _ in range(3):
+            server.submit(object(), lambda job: None)
+        scheduler.run()
+        assert server.jobs_served == 3
+        assert server.busy_time == pytest.approx(6.0)
+        assert server.utilization(12.0) == pytest.approx(0.5)
+
+    def test_negative_service_time_is_clamped(self):
+        scheduler = EventScheduler()
+        server = FifoServer(scheduler, service_time_fn=lambda job: -1.0)
+        done = []
+        server.submit("x", lambda job: done.append(scheduler.now))
+        scheduler.run()
+        assert done == [0.0]
+
+    def test_utilization_with_zero_elapsed(self):
+        scheduler = EventScheduler()
+        server = FifoServer(scheduler, service_time_fn=lambda job: 1.0)
+        assert server.utilization(0.0) == 0.0

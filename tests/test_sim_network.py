@@ -1,0 +1,129 @@
+"""Integration tests of the end-to-end simulator facade."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import SliceConfig
+from repro.sim.imperfections import Imperfections
+from repro.sim.network import NetworkSimulator
+from repro.sim.parameters import SimulationParameters
+from repro.sim.scenario import Scenario
+
+
+class TestNetworkSimulatorRuns:
+    def test_run_produces_latency_samples(self, simulator, default_config):
+        result = simulator.run(default_config, traffic=1, duration=15.0, seed=1)
+        assert result.frames_completed > 10
+        assert result.latencies_ms.shape == (result.frames_completed,)
+        assert np.all(result.latencies_ms > 0)
+
+    def test_same_seed_is_reproducible(self, simulator, default_config):
+        first = simulator.run(default_config, traffic=1, duration=10.0, seed=7)
+        second = simulator.run(default_config, traffic=1, duration=10.0, seed=7)
+        assert np.allclose(first.latencies_ms, second.latencies_ms)
+
+    def test_different_seeds_differ(self, simulator, default_config):
+        first = simulator.run(default_config, traffic=1, duration=10.0, seed=1)
+        second = simulator.run(default_config, traffic=1, duration=10.0, seed=2)
+        assert not np.array_equal(first.latencies_ms, second.latencies_ms)
+
+    def test_latency_increases_with_traffic(self, simulator, default_config):
+        light = simulator.run(default_config, traffic=1, duration=20.0, seed=3)
+        heavy = simulator.run(default_config, traffic=4, duration=20.0, seed=3)
+        assert heavy.mean_latency_ms > light.mean_latency_ms
+
+    def test_throughput_increases_with_traffic(self, simulator, default_config):
+        light = simulator.run(default_config, traffic=1, duration=20.0, seed=4)
+        heavy = simulator.run(default_config, traffic=4, duration=20.0, seed=4)
+        assert heavy.frames_completed > light.frames_completed
+
+    def test_more_resources_reduce_latency(self, simulator):
+        lean = SliceConfig(bandwidth_ul=6, bandwidth_dl=3, backhaul_bw=3, cpu_ratio=0.3)
+        rich = SliceConfig(bandwidth_ul=45, bandwidth_dl=45, backhaul_bw=80, cpu_ratio=1.0)
+        lean_result = simulator.run(lean, traffic=1, duration=20.0, seed=5)
+        rich_result = simulator.run(rich, traffic=1, duration=20.0, seed=5)
+        assert rich_result.mean_latency_ms < lean_result.mean_latency_ms
+
+    def test_cpu_ratio_dominates_compute_stage(self, simulator, default_config):
+        starved = simulator.run(default_config.replace(cpu_ratio=0.2), traffic=1, duration=20.0, seed=6)
+        full = simulator.run(default_config.replace(cpu_ratio=1.0), traffic=1, duration=20.0, seed=6)
+        assert starved.stage_breakdown_ms["compute"] > 2.0 * full.stage_breakdown_ms["compute"]
+
+    def test_qoe_monotone_in_threshold(self, simulator, default_config):
+        result = simulator.run(default_config, traffic=1, duration=20.0, seed=7)
+        assert result.qoe(200.0) <= result.qoe(300.0) <= result.qoe(500.0)
+
+    def test_qoe_of_empty_result(self, simulator, default_config):
+        result = simulator.run(default_config, traffic=1, duration=20.0, seed=8)
+        result.latencies_ms = np.zeros(0)
+        result.frames_completed = 0
+        assert result.qoe(300.0) == 0.0
+
+    def test_table1_metrics_are_reported(self, simulator, default_config):
+        result = simulator.run(default_config, traffic=1, duration=20.0, seed=9)
+        assert 15.0 < result.ul_throughput_mbps < 25.0
+        assert 25.0 < result.dl_throughput_mbps < 38.0
+        assert 0.0 <= result.ul_packet_error_rate < 0.1
+        assert 10.0 < result.ping_delay_ms < 80.0
+
+    def test_stage_breakdown_contains_all_stages(self, simulator, default_config):
+        result = simulator.run(default_config, traffic=1, duration=20.0, seed=10)
+        assert {"loading", "uplink", "backhaul_ul", "compute", "downlink"} <= set(result.stage_breakdown_ms)
+
+    def test_collect_latencies_matches_run(self, simulator, default_config):
+        latencies = simulator.collect_latencies(default_config, traffic=1, duration=10.0, seed=11)
+        result = simulator.run(default_config, traffic=1, duration=10.0, seed=11)
+        assert np.allclose(latencies, result.latencies_ms)
+
+
+class TestParameterSensitivity:
+    def test_loading_time_parameter_shifts_latency(self, default_config):
+        base = NetworkSimulator(seed=0).run(default_config, traffic=1, duration=20.0, seed=1)
+        shifted_params = SimulationParameters(loading_time=30.0)
+        shifted = NetworkSimulator(params=shifted_params, seed=0).run(
+            default_config, traffic=1, duration=20.0, seed=1
+        )
+        assert shifted.mean_latency_ms > base.mean_latency_ms + 15.0
+
+    def test_backhaul_bw_parameter_speeds_up_transport(self, default_config):
+        lean_config = default_config.replace(backhaul_bw=3.0)
+        base = NetworkSimulator(seed=0).run(lean_config, traffic=1, duration=20.0, seed=2)
+        boosted = NetworkSimulator(params=SimulationParameters(backhaul_bw=20.0), seed=0).run(
+            lean_config, traffic=1, duration=20.0, seed=2
+        )
+        assert boosted.mean_latency_ms < base.mean_latency_ms
+
+    def test_with_params_returns_independent_copy(self, simulator):
+        augmented = simulator.with_params(SimulationParameters(compute_time=20.0))
+        assert augmented is not simulator
+        assert simulator.params.compute_time == 0.0
+        assert augmented.params.compute_time == 20.0
+        assert augmented.scenario == simulator.scenario
+
+    def test_with_scenario_returns_independent_copy(self, simulator):
+        moved = simulator.with_scenario(Scenario(traffic=3, distance_m=5.0))
+        assert moved.scenario.traffic == 3
+        assert simulator.scenario.traffic == 1
+
+
+class TestImperfectionsInSimulator:
+    def test_spikes_create_heavier_tail(self, default_config):
+        clean = NetworkSimulator(seed=0).run(default_config, traffic=1, duration=30.0, seed=3)
+        spiky = NetworkSimulator(
+            imperfections=Imperfections(spike_probability=0.3, spike_ms_range=(200.0, 400.0)), seed=0
+        ).run(default_config, traffic=1, duration=30.0, seed=3)
+        assert np.percentile(spiky.latencies_ms, 95) > np.percentile(clean.latencies_ms, 95) + 50.0
+
+    def test_overheads_shift_mean_latency(self, default_config):
+        clean = NetworkSimulator(seed=0).run(default_config, traffic=1, duration=20.0, seed=4)
+        overhead = NetworkSimulator(
+            imperfections=Imperfections(per_frame_overhead_ms=40.0), seed=0
+        ).run(default_config, traffic=1, duration=20.0, seed=4)
+        assert overhead.mean_latency_ms > clean.mean_latency_ms + 20.0
+
+    def test_error_floor_scale_raises_packet_error_rate(self, default_config):
+        clean = NetworkSimulator(seed=0).run(default_config, traffic=4, duration=60.0, seed=5)
+        noisy = NetworkSimulator(
+            imperfections=Imperfections(error_floor_scale=30.0), seed=0
+        ).run(default_config, traffic=4, duration=60.0, seed=5)
+        assert noisy.ul_packet_error_rate >= clean.ul_packet_error_rate
