@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.baselines.base import BaselineIterationRecord, BaselineResult
 from repro.core.spaces import ConfigurationSpace
+from repro.engine import MeasurementEngine, MeasurementRequest
 from repro.metrics.regret import RegretTracker
 from repro.models.mlp import MLPRegressor
 from repro.prototype.slice_manager import SLA
@@ -64,12 +65,14 @@ class DLDA:
         traffic: int = 1,
         config: DLDAConfig | None = None,
         space: ConfigurationSpace | None = None,
+        engine: MeasurementEngine | None = None,
     ) -> None:
         self.simulator = simulator
         self.sla = sla
         self.traffic = int(traffic)
         self.config = config if config is not None else DLDAConfig()
         self.space = space if space is not None else ConfigurationSpace()
+        self.engine = engine if engine is not None else MeasurementEngine(simulator)
         self._rng = np.random.default_rng(self.config.seed)
         self.teacher: MLPRegressor | None = None
         self.student: MLPRegressor | None = None
@@ -77,18 +80,25 @@ class DLDA:
 
     # ---------------------------------------------------------------- offline
     def collect_offline_dataset(self) -> tuple[np.ndarray, np.ndarray]:
-        """Grid-search the configuration space in the simulator (Sec. 8.2)."""
+        """Grid-search the configuration space in the simulator (Sec. 8.2).
+
+        The whole grid is submitted as one engine batch: with a parallel
+        executor the grid sweeps run concurrently, and repeated sweeps (the
+        Fig. 18/19 availability and threshold experiments re-collect the same
+        grid) are served from the engine's cache.
+        """
         grid = self.space.grid(self.config.grid_points_per_dim)
-        qoes = np.zeros(len(grid))
-        for index, row in enumerate(grid):
-            action = self.space.to_config(row)
-            result = self.simulator.run(
-                action,
+        requests = [
+            MeasurementRequest(
+                config=self.space.to_config(row),
                 traffic=self.traffic,
                 duration=self.config.measurement_duration_s,
                 seed=index,
             )
-            qoes[index] = result.qoe(self.sla.latency_threshold_ms)
+            for index, row in enumerate(grid)
+        ]
+        results = self.engine.run_batch(requests)
+        qoes = np.array([result.qoe(self.sla.latency_threshold_ms) for result in results])
         inputs = self.space.normalize(grid)
         self.offline_dataset = (inputs, qoes)
         return self.offline_dataset
@@ -145,6 +155,7 @@ class DLDA:
         if self.teacher is None:
             self.train_offline()
         iterations = iterations if iterations is not None else self.config.online_iterations
+        real_engine = MeasurementEngine(real_network)
         self.student = self.teacher.clone()
         offline_inputs, offline_qoes = self.offline_dataset
         online_inputs: list[np.ndarray] = []
@@ -154,7 +165,7 @@ class DLDA:
         )
         for iteration in range(1, iterations + 1):
             action = self.select_config(model=self.student)
-            measurement = real_network.run(
+            measurement = real_engine.run(
                 action,
                 traffic=self.traffic,
                 duration=self.config.measurement_duration_s,

@@ -22,6 +22,7 @@ from repro.core.acquisition import (
 )
 from repro.core.penalty import AdaptiveMultiplier
 from repro.core.spaces import ConfigurationSpace
+from repro.engine import MeasurementEngine
 from repro.metrics.regret import RegretTracker
 from repro.models.gp import GaussianProcessRegressor
 from repro.prototype.slice_manager import SLA
@@ -73,12 +74,14 @@ class GPConfigurationOptimizer:
         traffic: int = 1,
         config: GPOptimizerConfig | None = None,
         space: ConfigurationSpace | None = None,
+        engine: MeasurementEngine | None = None,
     ) -> None:
         self.environment = environment
         self.sla = sla
         self.traffic = int(traffic)
         self.config = config if config is not None else GPOptimizerConfig()
         self.space = space if space is not None else ConfigurationSpace()
+        self.engine = engine if engine is not None else MeasurementEngine(environment)
         self._rng = np.random.default_rng(self.config.seed)
         self.multiplier = AdaptiveMultiplier(step_size=self.config.multiplier_step, initial=1.0)
         self._model = GaussianProcessRegressor(seed=self.config.seed)
@@ -87,7 +90,7 @@ class GPConfigurationOptimizer:
 
     # -------------------------------------------------------------- evaluation
     def _evaluate(self, action: SliceConfig, seed: int) -> tuple[float, float]:
-        result = self.environment.run(
+        result = self.engine.run(
             action,
             traffic=self.traffic,
             duration=self.config.measurement_duration_s,

@@ -16,6 +16,7 @@ import numpy as np
 from repro.baselines.base import BaselineIterationRecord, BaselineResult
 from repro.core.penalty import AdaptiveMultiplier
 from repro.core.spaces import ConfigurationSpace
+from repro.engine import MeasurementEngine
 from repro.metrics.regret import RegretTracker
 from repro.models.gp import GaussianProcessRegressor
 from repro.prototype.slice_manager import SLA
@@ -57,12 +58,14 @@ class VirtualEdge:
         traffic: int = 1,
         config: VirtualEdgeConfig | None = None,
         space: ConfigurationSpace | None = None,
+        engine: MeasurementEngine | None = None,
     ) -> None:
         self.environment = environment
         self.sla = sla
         self.traffic = int(traffic)
         self.config = config if config is not None else VirtualEdgeConfig()
         self.space = space if space is not None else ConfigurationSpace()
+        self.engine = engine if engine is not None else MeasurementEngine(environment)
         self._rng = np.random.default_rng(self.config.seed)
         self.multiplier = AdaptiveMultiplier(step_size=self.config.multiplier_step, initial=1.0)
         self._model = GaussianProcessRegressor(seed=self.config.seed)
@@ -71,7 +74,7 @@ class VirtualEdge:
 
     # -------------------------------------------------------------- internals
     def _evaluate(self, action: SliceConfig, seed: int) -> tuple[float, float]:
-        result = self.environment.run(
+        result = self.engine.run(
             action,
             traffic=self.traffic,
             duration=self.config.measurement_duration_s,

@@ -31,6 +31,7 @@ from repro.core.simulator_learning import (
     SimulatorParameterSearch,
 )
 from repro.core.spaces import SimulationParameterSpace
+from repro.engine import MeasurementEngine, MeasurementRequest
 from repro.models.bnn import BayesianNeuralNetwork
 from repro.prototype.slice_manager import SLA
 from repro.prototype.telemetry import OnlineCollection
@@ -96,18 +97,22 @@ class Atlas:
         self.config = config if config is not None else AtlasConfig()
         self.online_collection = OnlineCollection()
         self.augmented_simulator: NetworkSimulator = simulator
+        self.real_engine = MeasurementEngine(real_network)
         self._offline_policy: OfflinePolicy | None = None
 
     # --------------------------------------------------------- online dataset
     def collect_online_dataset(self) -> OnlineCollection:
         """Build ``D_r`` by logging the currently deployed configuration's latency."""
-        for run in range(self.config.online_collection_runs):
-            latencies = self.real_network.collect_latencies(
-                self.config.deployed_config,
+        requests = [
+            MeasurementRequest(
+                config=self.config.deployed_config,
                 traffic=self.config.traffic,
                 duration=self.config.online_collection_duration_s,
                 seed=1000 + run,
             )
+            for run in range(self.config.online_collection_runs)
+        ]
+        for latencies in self.real_engine.collect_latencies_batch(requests):
             self.online_collection.extend(latencies)
         return self.online_collection
 
@@ -186,6 +191,7 @@ class Atlas:
             sla=self.config.sla,
             traffic=self.config.traffic,
             config=self.config.stage3,
+            real_engine=self.real_engine,
         )
         return learner.run()
 

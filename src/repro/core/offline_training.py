@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.penalty import AdaptiveMultiplier
 from repro.core.policy import OfflinePolicy, build_features
 from repro.core.spaces import ConfigurationSpace
+from repro.engine import MeasurementEngine, MeasurementRequest
 from repro.models.bnn import BayesianNeuralNetwork
 from repro.prototype.slice_manager import SLA
 from repro.sim.config import SliceConfig
@@ -112,12 +113,18 @@ class OfflineConfigurationTrainer:
         traffic: int = 1,
         config: OfflineTrainingConfig | None = None,
         space: ConfigurationSpace | None = None,
+        engine: MeasurementEngine | None = None,
     ) -> None:
         self.simulator = simulator
         self.sla = sla
         self.traffic = int(traffic)
         self.config = config if config is not None else OfflineTrainingConfig()
         self.space = space if space is not None else ConfigurationSpace()
+        self.engine = (
+            engine
+            if engine is not None
+            else MeasurementEngine(simulator, max_workers=self.config.parallel_queries)
+        )
         self._rng = np.random.default_rng(self.config.seed)
         self.state = (float(self.traffic), float(simulator.scenario.distance_m), 0.0)
         self.multiplier = AdaptiveMultiplier(step_size=self.config.multiplier_step)
@@ -136,13 +143,26 @@ class OfflineConfigurationTrainer:
         """Query the augmented simulator: return ``(resource_usage, qoe)`` of ``action``."""
         self._evaluation_counter += 1
         run_seed = seed if seed is not None else self._evaluation_counter
-        result = self.simulator.run(
-            action,
-            traffic=self.traffic,
-            duration=self.config.measurement_duration_s,
-            seed=run_seed,
-        )
-        return action.resource_usage(), result.qoe(self.sla.latency_threshold_ms)
+        return self._evaluate_batch([action], [run_seed])[0]
+
+    def _evaluate_batch(
+        self, actions: list[SliceConfig], seeds: list[int]
+    ) -> list[tuple[float, float]]:
+        """Measure one iteration's parallel queries as a single engine batch."""
+        requests = [
+            MeasurementRequest(
+                config=action,
+                traffic=self.traffic,
+                duration=self.config.measurement_duration_s,
+                seed=seed,
+            )
+            for action, seed in zip(actions, seeds)
+        ]
+        results = self.engine.run_batch(requests)
+        return [
+            (action.resource_usage(), result.qoe(self.sla.latency_threshold_ms))
+            for action, result in zip(actions, results)
+        ]
 
     # --------------------------------------------------------------- selection
     def _select_actions(self) -> list[SliceConfig]:
@@ -177,9 +197,12 @@ class OfflineConfigurationTrainer:
         """Execute the offline training and return the learned policy."""
         for iteration in range(1, self.config.iterations + 1):
             actions = self._select_actions()
+            seeds = []
+            for _ in actions:
+                self._evaluation_counter += 1
+                seeds.append(self._evaluation_counter)
             iteration_qoes = []
-            for action in actions:
-                usage, qoe = self.evaluate(action)
+            for action, (usage, qoe) in zip(actions, self._evaluate_batch(actions, seeds)):
                 iteration_qoes.append(qoe)
                 lagrangian = float(
                     self.multiplier.lagrangian(usage, qoe, self.sla.availability)

@@ -31,8 +31,9 @@ from repro.core.acquisition import (
     probability_of_improvement,
 )
 from repro.core.penalty import AdaptiveMultiplier
-from repro.core.policy import OfflinePolicy, OnlinePolicy, build_features
+from repro.core.policy import OfflinePolicy, OnlinePolicy
 from repro.core.spaces import ConfigurationSpace
+from repro.engine import MeasurementEngine
 from repro.metrics.regret import RegretTracker
 from repro.models.bnn import BayesianNeuralNetwork
 from repro.models.gp import GaussianProcessRegressor
@@ -184,6 +185,8 @@ class OnlineConfigurationLearner:
         traffic: int = 1,
         config: OnlineLearningConfig | None = None,
         space: ConfigurationSpace | None = None,
+        engine: MeasurementEngine | None = None,
+        real_engine: MeasurementEngine | None = None,
     ) -> None:
         self.offline_policy = offline_policy
         self.simulator = simulator
@@ -192,6 +195,11 @@ class OnlineConfigurationLearner:
         self.traffic = int(traffic)
         self.config = config if config is not None else OnlineLearningConfig()
         self.space = space if space is not None else ConfigurationSpace()
+        # Offline acceleration queries the augmented simulator; online
+        # measurements go to the real network.  Both flow through engines so
+        # execution and caching policies are uniform across the stages.
+        self.engine = engine if engine is not None else MeasurementEngine(simulator)
+        self.real_engine = real_engine if real_engine is not None else MeasurementEngine(real_network)
         self._rng = np.random.default_rng(self.config.seed)
         # The online stage starts from the offline stage's final multiplier; a
         # floor of 1.0 keeps the SLA term relevant even when the offline run
@@ -286,7 +294,7 @@ class OnlineConfigurationLearner:
             index = int(np.argmin(scores))
             action = self.space.to_config(pool[index])
             self._evaluation_counter += 1
-            simulator_result = self.simulator.run(
+            simulator_result = self.engine.run(
                 action,
                 traffic=self.traffic,
                 duration=self.config.simulator_duration_s,
@@ -316,7 +324,7 @@ class OnlineConfigurationLearner:
             )
             return 0.0
         self._evaluation_counter += 1
-        simulator_result = self.simulator.run(
+        simulator_result = self.engine.run(
             action,
             traffic=self.traffic,
             duration=self.config.simulator_duration_s,
@@ -345,7 +353,7 @@ class OnlineConfigurationLearner:
             else:
                 action, predicted_qoe, beta = self._select_action(iteration)
 
-            result = self.real_network.measure(
+            result = self.real_engine.run(
                 action,
                 traffic=self.traffic,
                 duration=self.config.measurement_duration_s,

@@ -1,0 +1,33 @@
+"""Unified measurement engine: one environment protocol, one execution layer.
+
+Every simulator / real-network query in the reproduction flows through
+:class:`~repro.engine.engine.MeasurementEngine`, which batches requests,
+executes them through pluggable serial/thread/process executors and memoises
+results in a content-keyed cache.  See ``README.md`` for the architecture
+overview (sim → engine → stages → experiments).
+"""
+
+from repro.engine.cache import CacheStats, MeasurementCache, shared_cache
+from repro.engine.engine import MeasurementEngine
+from repro.engine.executors import (
+    EXECUTOR_KINDS,
+    available_parallelism,
+    default_executor_kind,
+    make_executor,
+    register_executor,
+)
+from repro.engine.protocol import Environment, MeasurementRequest
+
+__all__ = [
+    "CacheStats",
+    "Environment",
+    "EXECUTOR_KINDS",
+    "MeasurementCache",
+    "MeasurementEngine",
+    "MeasurementRequest",
+    "available_parallelism",
+    "default_executor_kind",
+    "make_executor",
+    "register_executor",
+    "shared_cache",
+]

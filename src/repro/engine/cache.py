@@ -1,0 +1,133 @@
+"""Content-keyed measurement cache with hit/miss accounting.
+
+Results are keyed on the full content of a query — environment fingerprint
+(simulation parameters, scenario, imperfections, base seed, isolation) plus
+the request (config, traffic, duration, per-run seed, parameter override) —
+so a cached entry is, by construction, byte-identical to what re-running the
+measurement would produce.  Sweep experiments that revisit identical queries
+(the Fig. 15 heatmap grid, the Fig. 18/19 availability and threshold sweeps
+re-collecting the same DLDA grid) therefore get them for free.
+
+A single process-wide cache (:func:`shared_cache`) is used by default so
+independent engines — e.g. one per experiment runner — share results; pass a
+private :class:`MeasurementCache` to an engine for isolated accounting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from threading import Lock
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.network import SimulationResult
+
+__all__ = ["CacheStats", "MeasurementCache", "shared_cache"]
+
+#: Default bound of the shared cache (LRU-evicted beyond this).
+DEFAULT_MAX_ENTRIES = 20_000
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.hits = self.misses = self.evictions = 0
+
+    def as_dict(self) -> dict[str, float]:
+        """Counters plus the derived hit rate, for logging/benchmarks."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def _copy_result(result: "SimulationResult") -> "SimulationResult":
+    """Defensive copy so callers can never mutate a cached entry."""
+    return replace(
+        result,
+        latencies_ms=np.array(result.latencies_ms, copy=True),
+        stage_breakdown_ms=dict(result.stage_breakdown_ms),
+    )
+
+
+@dataclass
+class MeasurementCache:
+    """Bounded LRU cache of :class:`~repro.sim.network.SimulationResult`.
+
+    Thread safe: the engine's thread executor may insert results
+    concurrently with lookups from other engines sharing the cache.
+    """
+
+    max_entries: int | None = DEFAULT_MAX_ENTRIES
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.max_entries is not None and self.max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
+        self._entries: OrderedDict[tuple, "SimulationResult"] = OrderedDict()
+        self._lock = Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def get(self, key: tuple) -> "SimulationResult | None":
+        """Return a copy of the entry under ``key``, recording a hit or miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return _copy_result(entry)
+
+    def put(self, key: tuple, result: "SimulationResult") -> None:
+        """Store ``result`` under ``key`` (evicting the LRU entry if full)."""
+        with self._lock:
+            self._entries[key] = _copy_result(result)
+            self._entries.move_to_end(key)
+            while self.max_entries is not None and len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self.stats.reset()
+
+
+#: The process-wide cache shared by engines built with ``cache=True``.
+_SHARED_CACHE = MeasurementCache()
+
+
+def shared_cache() -> MeasurementCache:
+    """The process-wide measurement cache (engines default to it)."""
+    return _SHARED_CACHE

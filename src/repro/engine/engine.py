@@ -1,0 +1,222 @@
+"""The unified measurement engine.
+
+:class:`MeasurementEngine` is the single execution layer every environment
+consumer (stages 1–3, the baselines and the experiment runners) submits its
+measurements through.  It accepts batches of
+:class:`~repro.engine.protocol.MeasurementRequest`, executes them through a
+pluggable executor (``serial``, ``thread`` or ``process``) and memoises the
+results in a content-keyed cache.
+
+Determinism
+    ``seed=None`` requests are resolved from a per-engine
+    :class:`numpy.random.SeedSequence` stream *before* dispatch, so the same
+    batch produces byte-identical results under every executor kind and the
+    racy run-counter idiom the simulator previously used never crosses a
+    process boundary.
+
+Side effects
+    Environments that mutate state per measurement (the real network logs
+    every applied configuration through its domain managers) implement
+    ``prepare_batch``; the engine invokes it in the parent process and
+    executes the returned side-effect-free environment, so histories stay
+    correct under process execution and cache hits alike.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.engine.cache import CacheStats, MeasurementCache, shared_cache
+from repro.engine.executors import (
+    available_parallelism,
+    default_executor_kind,
+    make_executor,
+)
+from repro.engine.protocol import Environment, MeasurementRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.config import SliceConfig
+    from repro.sim.network import SimulationResult
+    from repro.sim.parameters import SimulationParameters
+
+__all__ = ["MeasurementEngine"]
+
+
+class MeasurementEngine:
+    """Batched, parallel, cached execution of environment measurements.
+
+    Parameters
+    ----------
+    environment:
+        Any :class:`~repro.engine.protocol.Environment` (the simulator or the
+        real network).
+    executor:
+        ``"serial"`` (default), ``"thread"`` or ``"process"``; ``None`` picks
+        the kind selected by the ``ATLAS_ENGINE_EXECUTOR`` environment
+        variable.  Custom kinds can be registered via
+        :func:`repro.engine.executors.register_executor`.
+    max_workers:
+        Parallel workers of the thread/process executors.  Defaults to the
+        machine's available parallelism; stages pass their
+        ``parallel_queries`` budget here so the paper's scale knobs map
+        directly onto real concurrency.
+    cache:
+        ``True`` (default) uses the process-wide shared cache, ``False``
+        disables caching, and a :class:`MeasurementCache` instance gives the
+        engine a private cache (useful for isolated hit/miss accounting).
+    seed:
+        Seed of the stream that resolves ``seed=None`` requests.
+    """
+
+    def __init__(
+        self,
+        environment: Environment,
+        executor: str | None = None,
+        max_workers: int | None = None,
+        cache: MeasurementCache | bool = True,
+        seed: int = 0,
+    ) -> None:
+        self.environment = environment
+        self.executor_kind = executor if executor is not None else default_executor_kind()
+        self.max_workers = (
+            max(1, int(max_workers)) if max_workers is not None else available_parallelism()
+        )
+        if cache is True:
+            self._cache: MeasurementCache | None = shared_cache()
+        elif cache is False or cache is None:
+            self._cache = None
+        else:
+            self._cache = cache
+        self._seed_sequence = np.random.SeedSequence(int(seed))
+        self._executor = make_executor(self.executor_kind, self.max_workers)
+        # Engines are routinely created per stage/experiment and dropped
+        # without an explicit shutdown(); release any lazily spawned
+        # thread/process pool when the engine is garbage collected.
+        self._finalizer = weakref.finalize(self, self._executor.shutdown)
+        #: Measurements actually executed (cache hits excluded).
+        self.executed_requests = 0
+        #: Batches submitted through :meth:`run_batch`.
+        self.submitted_batches = 0
+
+    # ------------------------------------------------------------------- cache
+    @property
+    def cache(self) -> MeasurementCache | None:
+        """The cache backing this engine (``None`` when disabled)."""
+        return self._cache
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss counters of the backing cache (zeros when disabled)."""
+        if self._cache is None:
+            return CacheStats()
+        return self._cache.stats
+
+    def clear_cache(self) -> None:
+        """Drop the backing cache's entries (no-op when disabled)."""
+        if self._cache is not None:
+            self._cache.clear()
+
+    def _cache_key(self, environment: Environment, request: MeasurementRequest) -> tuple:
+        return (environment.fingerprint(), request.key())
+
+    # ----------------------------------------------------------------- seeding
+    def _next_auto_seed(self) -> int:
+        child = self._seed_sequence.spawn(1)[0]
+        return int(child.generate_state(1, dtype=np.uint32)[0])
+
+    def _resolve_seeds(self, requests: Iterable[MeasurementRequest]) -> list[MeasurementRequest]:
+        resolved = []
+        for request in requests:
+            if request.seed is None:
+                request = request.replace(seed=self._next_auto_seed())
+            resolved.append(request)
+        return resolved
+
+    # --------------------------------------------------------------- execution
+    def run_batch(self, requests: Sequence[MeasurementRequest]) -> list["SimulationResult"]:
+        """Execute a batch of requests and return results in submission order.
+
+        Cache hits are served without touching the executor; misses are
+        dispatched together so the executor can chunk them across workers.
+        """
+        self.submitted_batches += 1
+        environment = self.environment
+        resolved = list(requests)
+        prepare = getattr(environment, "prepare_batch", None)
+        if callable(prepare):
+            # The hook may resolve seeds itself (the real network falls back
+            # to its measurement counter, matching its direct measure path).
+            environment, resolved = prepare(resolved)
+        resolved = self._resolve_seeds(resolved)
+
+        results: list["SimulationResult | None"] = [None] * len(resolved)
+        pending: list[tuple[int, tuple, MeasurementRequest]] = []
+        for index, request in enumerate(resolved):
+            if self._cache is not None:
+                key = self._cache_key(environment, request)
+                hit = self._cache.get(key)
+                if hit is not None:
+                    results[index] = hit
+                    continue
+            else:
+                key = ()
+            pending.append((index, key, request))
+
+        if pending:
+            executed = self._executor.map_requests(environment, [r for _, _, r in pending])
+            self.executed_requests += len(executed)
+            for (index, key, _), result in zip(pending, executed):
+                if self._cache is not None:
+                    self._cache.put(key, result)
+                results[index] = result
+        return results  # type: ignore[return-value]
+
+    def run(
+        self,
+        config: "SliceConfig",
+        traffic: int | None = None,
+        duration: float | None = None,
+        seed: int | None = None,
+        params: "SimulationParameters | None" = None,
+    ) -> "SimulationResult":
+        """Execute a single measurement (batched path with one request)."""
+        request = MeasurementRequest(
+            config=config, traffic=traffic, duration=duration, seed=seed, params=params
+        )
+        return self.run_batch([request])[0]
+
+    def collect_latencies_batch(self, requests: Sequence[MeasurementRequest]) -> list[np.ndarray]:
+        """Batched variant returning only the latency collections."""
+        return [result.latencies_ms for result in self.run_batch(requests)]
+
+    def collect_latencies(
+        self,
+        config: "SliceConfig",
+        traffic: int | None = None,
+        duration: float | None = None,
+        seed: int | None = None,
+        params: "SimulationParameters | None" = None,
+    ) -> np.ndarray:
+        """Single-measurement variant returning only the latency collection."""
+        return self.run(config, traffic=traffic, duration=duration, seed=seed, params=params).latencies_ms
+
+    # ---------------------------------------------------------------- lifecycle
+    def shutdown(self) -> None:
+        """Release executor resources (pools re-spawn lazily if reused)."""
+        self._executor.shutdown()
+
+    def __enter__(self) -> "MeasurementEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MeasurementEngine(environment={type(self.environment).__name__}, "
+            f"executor={self.executor_kind!r}, max_workers={self.max_workers}, "
+            f"cache={'off' if self._cache is None else 'on'})"
+        )

@@ -1,0 +1,198 @@
+"""Pluggable request executors: serial, thread and process.
+
+The process executor follows the loky/``concurrent.futures`` idiom the paper
+relies on for its multiprocessing: requests are split into contiguous chunks
+(one per worker) so the environment is pickled once per chunk rather than
+once per request, and results are returned in submission order.  Every
+request carries an explicit seed by the time it reaches an executor (the
+engine resolves ``seed=None`` beforehand), so execution is embarrassingly
+parallel and byte-identical across executor kinds.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.protocol import Environment, MeasurementRequest
+    from repro.sim.network import SimulationResult
+
+__all__ = [
+    "available_parallelism",
+    "default_executor_kind",
+    "make_executor",
+    "register_executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "EXECUTOR_KINDS",
+]
+
+#: Environment variable selecting the default executor of new engines.
+EXECUTOR_ENV_VAR = "ATLAS_ENGINE_EXECUTOR"
+
+
+def available_parallelism() -> int:
+    """CPUs usable by this process (cgroup/affinity aware where possible)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+def default_executor_kind() -> str:
+    """Executor kind used when an engine is built without an explicit choice.
+
+    Defaults to ``serial`` (deterministic, zero overhead for the tiny
+    measurement budgets of the test suite); set ``ATLAS_ENGINE_EXECUTOR`` to
+    ``thread`` or ``process`` to parallelise every engine in the process.
+    """
+    kind = os.environ.get(EXECUTOR_ENV_VAR, "serial").strip().lower()
+    if kind not in EXECUTOR_KINDS:
+        raise ValueError(
+            f"{EXECUTOR_ENV_VAR}={kind!r} is not a registered executor kind; "
+            f"expected one of {sorted(EXECUTOR_KINDS)}"
+        )
+    return kind
+
+
+def execute_one(environment: "Environment", request: "MeasurementRequest") -> "SimulationResult":
+    """Execute a single resolved request against ``environment``."""
+    if request.params is not None:
+        with_params = getattr(environment, "with_params", None)
+        if with_params is None:
+            raise TypeError(
+                f"{type(environment).__name__} does not support per-request "
+                "simulation-parameter overrides (no with_params method)"
+            )
+        environment = with_params(request.params)
+    return environment.run(
+        request.config,
+        traffic=request.traffic,
+        duration=request.duration,
+        seed=request.seed,
+    )
+
+
+def _execute_chunk(payload: tuple["Environment", list["MeasurementRequest"]]) -> list:
+    """Worker entry point: run one chunk of requests against one environment."""
+    environment, requests = payload
+    return [execute_one(environment, request) for request in requests]
+
+
+def _chunk(items: list, n_chunks: int) -> list[list]:
+    """Split ``items`` into at most ``n_chunks`` contiguous, balanced chunks."""
+    n_chunks = max(1, min(n_chunks, len(items)))
+    base, extra = divmod(len(items), n_chunks)
+    chunks, start = [], 0
+    for index in range(n_chunks):
+        size = base + (1 if index < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
+class SerialExecutor:
+    """Run every request in the calling thread (the deterministic default)."""
+
+    kind = "serial"
+
+    def __init__(self, max_workers: int = 1) -> None:
+        self.max_workers = 1
+
+    def map_requests(
+        self, environment: "Environment", requests: Sequence["MeasurementRequest"]
+    ) -> list["SimulationResult"]:
+        """Execute ``requests`` in order and return their results."""
+        return [execute_one(environment, request) for request in requests]
+
+    def shutdown(self) -> None:
+        """Nothing to release."""
+
+
+class _PoolExecutor:
+    """Shared machinery for the thread/process pool executors."""
+
+    kind = "pool"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max(1, int(max_workers) if max_workers else available_parallelism())
+        self._pool: Executor | None = None
+
+    def _make_pool(self) -> Executor:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool
+
+    def map_requests(
+        self, environment: "Environment", requests: Sequence["MeasurementRequest"]
+    ) -> list["SimulationResult"]:
+        """Execute ``requests`` across the pool, preserving submission order."""
+        requests = list(requests)
+        if len(requests) <= 1:
+            return [execute_one(environment, request) for request in requests]
+        pool = self._ensure_pool()
+        chunks = _chunk(requests, self.max_workers)
+        payloads = [(environment, chunk) for chunk in chunks]
+        results: list["SimulationResult"] = []
+        for chunk_result in pool.map(_execute_chunk, payloads):
+            results.extend(chunk_result)
+        return results
+
+    def shutdown(self) -> None:
+        """Tear down the pool (a later batch lazily re-creates it)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool execution: useful for I/O-bound or GIL-releasing environments."""
+
+    kind = "thread"
+
+    def _make_pool(self) -> Executor:
+        return ThreadPoolExecutor(max_workers=self.max_workers)
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Chunked process-pool execution (the paper's multiprocessing, for real)."""
+
+    kind = "process"
+
+    def _make_pool(self) -> Executor:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platforms without fork
+            context = None
+        return ProcessPoolExecutor(max_workers=self.max_workers, mp_context=context)
+
+
+#: Registry of executor kinds; extendable via :func:`register_executor`.
+EXECUTOR_KINDS: dict[str, Callable[[int | None], object]] = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def register_executor(kind: str, factory: Callable[[int | None], object]) -> None:
+    """Register a custom executor factory under ``kind``."""
+    EXECUTOR_KINDS[str(kind)] = factory
+
+
+def make_executor(kind: str, max_workers: int | None = None):
+    """Instantiate the executor registered under ``kind``."""
+    try:
+        factory = EXECUTOR_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor kind {kind!r}; expected one of {sorted(EXECUTOR_KINDS)}"
+        ) from None
+    return factory(max_workers)

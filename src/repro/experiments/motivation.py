@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.baselines.dlda import DLDA, DLDAConfig
 from repro.baselines.gp_bo import GPConfigurationOptimizer, GPOptimizerConfig
+from repro.engine import MeasurementEngine, MeasurementRequest
 from repro.experiments.scale import ExperimentScale, get_scale
 from repro.experiments.scenarios import (
     default_deployed_config,
@@ -52,15 +53,17 @@ class NetworkPerformanceRow:
 def table1_network_performance(scale: ExperimentScale | None = None) -> list[NetworkPerformanceRow]:
     """Reproduce Table 1: networking performance of simulator vs real network."""
     scale = scale if scale is not None else get_scale()
-    simulator = make_simulator(seed=0)
-    system = make_real_network(seed=1)
+    sim_engine = MeasurementEngine(make_simulator(seed=0))
+    sys_engine = MeasurementEngine(make_real_network(seed=1))
     config = default_deployed_config()
+    requests = [
+        MeasurementRequest(config=config, traffic=1, duration=scale.measurement_duration_s, seed=run)
+        for run in range(scale.motivation_runs)
+    ]
 
     sim_metrics = {"ping": [], "ul": [], "dl": [], "ul_per": [], "dl_per": []}
     sys_metrics = {"ping": [], "ul": [], "dl": [], "ul_per": [], "dl_per": []}
-    for run in range(scale.motivation_runs):
-        sim_result = simulator.run(config, traffic=1, duration=scale.measurement_duration_s, seed=run)
-        sys_result = system.measure(config, traffic=1, duration=scale.measurement_duration_s, seed=run)
+    for sim_result, sys_result in zip(sim_engine.run_batch(requests), sys_engine.run_batch(requests)):
         for metrics, result in ((sim_metrics, sim_result), (sys_metrics, sys_result)):
             metrics["ping"].append(result.ping_delay_ms)
             metrics["ul"].append(result.ul_throughput_mbps)
@@ -106,20 +109,16 @@ class LatencyCdfResult:
 def fig2_latency_cdf(scale: ExperimentScale | None = None) -> LatencyCdfResult:
     """Reproduce Fig. 2: end-to-end latency CDF under one slice user."""
     scale = scale if scale is not None else get_scale()
-    simulator = make_simulator(seed=0)
-    system = make_real_network(seed=1)
+    sim_engine = MeasurementEngine(make_simulator(seed=0))
+    sys_engine = MeasurementEngine(make_real_network(seed=1))
     config = default_deployed_config()
-    sim_latencies, sys_latencies = [], []
-    for run in range(scale.motivation_runs):
-        sim_latencies.append(
-            simulator.collect_latencies(config, traffic=1, duration=scale.measurement_duration_s, seed=run)
-        )
-        sys_latencies.append(
-            system.collect_latencies(config, traffic=1, duration=scale.measurement_duration_s, seed=run)
-        )
+    requests = [
+        MeasurementRequest(config=config, traffic=1, duration=scale.measurement_duration_s, seed=run)
+        for run in range(scale.motivation_runs)
+    ]
     return LatencyCdfResult(
-        simulator_latencies=np.concatenate(sim_latencies),
-        system_latencies=np.concatenate(sys_latencies),
+        simulator_latencies=np.concatenate(sim_engine.collect_latencies_batch(requests)),
+        system_latencies=np.concatenate(sys_engine.collect_latencies_batch(requests)),
     )
 
 
@@ -144,19 +143,23 @@ def fig3_latency_vs_traffic(
 ) -> TrafficLatencyResult:
     """Reproduce Fig. 3: latency statistics under different user traffic."""
     scale = scale if scale is not None else get_scale()
-    simulator = make_simulator(seed=0)
-    system = make_real_network(seed=1)
+    sim_engine = MeasurementEngine(make_simulator(seed=0))
+    sys_engine = MeasurementEngine(make_real_network(seed=1))
     config = default_deployed_config()
-    sim_summaries, sys_summaries = [], []
-    for traffic in traffic_levels:
-        sim_latencies = simulator.collect_latencies(
-            config, traffic=traffic, duration=scale.measurement_duration_s, seed=traffic
+    requests = [
+        MeasurementRequest(
+            config=config, traffic=traffic, duration=scale.measurement_duration_s, seed=traffic
         )
-        sys_latencies = system.collect_latencies(
-            config, traffic=traffic, duration=scale.measurement_duration_s, seed=traffic
-        )
-        sim_summaries.append(summarize_latencies(sim_latencies).as_dict())
-        sys_summaries.append(summarize_latencies(sys_latencies).as_dict())
+        for traffic in traffic_levels
+    ]
+    sim_summaries = [
+        summarize_latencies(latencies).as_dict()
+        for latencies in sim_engine.collect_latencies_batch(requests)
+    ]
+    sys_summaries = [
+        summarize_latencies(latencies).as_dict()
+        for latencies in sys_engine.collect_latencies_batch(requests)
+    ]
     return TrafficLatencyResult(
         traffic_levels=list(traffic_levels),
         simulator_summaries=sim_summaries,
@@ -195,21 +198,26 @@ def _resource_grid_config(cpu_fraction: float, ul_fraction: float) -> SliceConfi
 def fig4_kl_heatmap(scale: ExperimentScale | None = None) -> KLHeatmapResult:
     """Reproduce Fig. 4: heatmap of KL-divergence under CPU × UL bandwidth usage."""
     scale = scale if scale is not None else get_scale()
-    simulator = make_simulator(seed=0)
-    system = make_real_network(seed=1)
+    sim_engine = MeasurementEngine(make_simulator(seed=0))
+    sys_engine = MeasurementEngine(make_real_network(seed=1))
     levels = np.linspace(0.1, 0.9, scale.heatmap_resolution)
-    kl_matrix = np.zeros((len(levels), len(levels)))
-    for i, ul_fraction in enumerate(levels):
-        for j, cpu_fraction in enumerate(levels):
-            config = _resource_grid_config(cpu_fraction, ul_fraction)
-            seed = 100 + i * len(levels) + j
-            sim_latencies = simulator.collect_latencies(
-                config, traffic=1, duration=scale.measurement_duration_s, seed=seed
-            )
-            sys_latencies = system.collect_latencies(
-                config, traffic=1, duration=scale.measurement_duration_s, seed=seed
-            )
-            kl_matrix[i, j] = histogram_kl_divergence(sys_latencies, sim_latencies)
+    requests = [
+        MeasurementRequest(
+            config=_resource_grid_config(cpu_fraction, ul_fraction),
+            traffic=1,
+            duration=scale.measurement_duration_s,
+            seed=100 + i * len(levels) + j,
+        )
+        for i, ul_fraction in enumerate(levels)
+        for j, cpu_fraction in enumerate(levels)
+    ]
+    sim_collections = sim_engine.collect_latencies_batch(requests)
+    sys_collections = sys_engine.collect_latencies_batch(requests)
+    kl_cells = [
+        histogram_kl_divergence(sys_latencies, sim_latencies)
+        for sys_latencies, sim_latencies in zip(sys_collections, sim_collections)
+    ]
+    kl_matrix = np.array(kl_cells).reshape(len(levels), len(levels))
     return KLHeatmapResult(cpu_levels=levels, ul_bw_levels=levels, kl_matrix=kl_matrix)
 
 

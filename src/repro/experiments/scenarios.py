@@ -9,6 +9,9 @@ online dataset ``D_r``.
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.engine import MeasurementEngine, MeasurementRequest
 from repro.prototype.slice_manager import SLA
 from repro.prototype.testbed import RealNetwork
 from repro.sim.config import SliceConfig
@@ -68,13 +71,23 @@ def collect_online_dataset(
     traffic: int = 1,
     runs: int = 2,
     duration_s: float = 30.0,
-):
-    """Build the online collection ``D_r`` by repeatedly measuring the deployed config."""
-    import numpy as np
+    engine: MeasurementEngine | None = None,
+) -> np.ndarray:
+    """Build the online collection ``D_r`` by repeatedly measuring the deployed config.
 
+    The measurements are submitted as one engine batch.  ``runs=0`` returns
+    an empty ``float64`` array (a dtype-less empty array would break the
+    downstream scaler fitting).
+    """
+    runs = int(runs)
+    if runs < 0:
+        raise ValueError(f"runs must be >= 0, got {runs}")
     config = config if config is not None else default_deployed_config()
-    collections = [
-        real_network.collect_latencies(config, traffic=traffic, duration=duration_s, seed=500 + run)
+    if runs == 0:
+        return np.zeros(0, dtype=np.float64)
+    engine = engine if engine is not None else MeasurementEngine(real_network)
+    requests = [
+        MeasurementRequest(config=config, traffic=traffic, duration=duration_s, seed=500 + run)
         for run in range(runs)
     ]
-    return np.concatenate(collections) if collections else np.zeros(0)
+    return np.concatenate(engine.collect_latencies_batch(requests))

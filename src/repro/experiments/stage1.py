@@ -18,6 +18,7 @@ from repro.core.simulator_learning import (
     SimulatorParameterSearch,
 )
 from repro.core.spaces import SimulationParameterSpace
+from repro.engine import MeasurementEngine, MeasurementRequest
 from repro.experiments.scale import ExperimentScale, get_scale
 from repro.experiments.scenarios import (
     collect_online_dataset,
@@ -27,7 +28,6 @@ from repro.experiments.scenarios import (
 )
 from repro.metrics.kl import histogram_kl_divergence
 from repro.prototype.slice_manager import SLA, NetworkSlice, SliceManager
-from repro.sim.config import SliceConfig
 from repro.sim.parameters import SimulationParameters
 
 __all__ = [
@@ -158,16 +158,24 @@ def fig9_latency_cdf_methods(
     if comparison is None:
         comparison = fig8_table4_parameter_search(scale)
     config = default_deployed_config()
-    system = make_real_network(seed=5)
-    simulator = make_simulator(seed=0)
-    system_latencies = system.collect_latencies(
+    sys_engine = MeasurementEngine(make_real_network(seed=5))
+    sim_engine = MeasurementEngine(make_simulator(seed=0))
+    system_latencies = sys_engine.collect_latencies(
         config, traffic=1, duration=scale.measurement_duration_s, seed=7
     )
-    ours_latencies = simulator.with_params(comparison.ours.best_parameters).collect_latencies(
-        config, traffic=1, duration=scale.measurement_duration_s, seed=7
-    )
-    gp_latencies = simulator.with_params(comparison.gp.best_parameters).collect_latencies(
-        config, traffic=1, duration=scale.measurement_duration_s, seed=7
+    # Both augmented simulators are parameter overrides of one base
+    # simulator, so they go out as a single two-request batch.
+    ours_latencies, gp_latencies = sim_engine.collect_latencies_batch(
+        [
+            MeasurementRequest(
+                config=config,
+                traffic=1,
+                duration=scale.measurement_duration_s,
+                seed=7,
+                params=best,
+            )
+            for best in (comparison.ours.best_parameters, comparison.gp.best_parameters)
+        ]
     )
     return LatencyCdfMethodsResult(
         system=system_latencies, augmented_ours=ours_latencies, augmented_gp=gp_latencies
@@ -196,12 +204,14 @@ def fig10_mobility_discrepancy(
             scenario_kwargs = {"distance_m": 5.0, "mobility": "random_walk"}
         else:
             scenario_kwargs = {"distance_m": float(distance), "mobility": "static"}
-        simulator = make_simulator(seed=0, **scenario_kwargs)
-        system = make_real_network(seed=1, **scenario_kwargs)
-        sim_latencies = simulator.collect_latencies(
+        # Each distance is a different scenario, i.e. a different environment
+        # pair; the engines still give the queries caching + uniform execution.
+        sim_engine = MeasurementEngine(make_simulator(seed=0, **scenario_kwargs))
+        sys_engine = MeasurementEngine(make_real_network(seed=1, **scenario_kwargs))
+        sim_latencies = sim_engine.collect_latencies(
             config, traffic=1, duration=scale.measurement_duration_s, seed=20 + index
         )
-        sys_latencies = system.collect_latencies(
+        sys_latencies = sys_engine.collect_latencies(
             config, traffic=1, duration=scale.measurement_duration_s, seed=20 + index
         )
         discrepancies.append(histogram_kl_divergence(sys_latencies, sim_latencies))
@@ -335,22 +345,32 @@ def fig14_discrepancy_under_traffic(
     """
     scale = scale if scale is not None else get_scale()
     config = default_deployed_config()
-    system = make_real_network(seed=1)
-    original_sim = make_simulator(seed=0)
-    augmented_sim = original_sim.with_params(best_parameters)
-    original, augmented = [], []
-    for traffic in traffic_levels:
-        sys_latencies = system.collect_latencies(
-            config, traffic=traffic, duration=scale.measurement_duration_s, seed=40 + traffic
-        )
-        orig_latencies = original_sim.collect_latencies(
-            config, traffic=traffic, duration=scale.measurement_duration_s, seed=40 + traffic
-        )
-        aug_latencies = augmented_sim.collect_latencies(
-            config, traffic=traffic, duration=scale.measurement_duration_s, seed=40 + traffic
-        )
-        original.append(histogram_kl_divergence(sys_latencies, orig_latencies))
-        augmented.append(histogram_kl_divergence(sys_latencies, aug_latencies))
+    sys_engine = MeasurementEngine(make_real_network(seed=1))
+    sim_engine = MeasurementEngine(make_simulator(seed=0))
+
+    def requests(params: SimulationParameters | None) -> list[MeasurementRequest]:
+        return [
+            MeasurementRequest(
+                config=config,
+                traffic=traffic,
+                duration=scale.measurement_duration_s,
+                seed=40 + traffic,
+                params=params,
+            )
+            for traffic in traffic_levels
+        ]
+
+    sys_collections = sys_engine.collect_latencies_batch(requests(None))
+    orig_collections = sim_engine.collect_latencies_batch(requests(None))
+    aug_collections = sim_engine.collect_latencies_batch(requests(best_parameters))
+    original = [
+        histogram_kl_divergence(sys_latencies, orig_latencies)
+        for sys_latencies, orig_latencies in zip(sys_collections, orig_collections)
+    ]
+    augmented = [
+        histogram_kl_divergence(sys_latencies, aug_latencies)
+        for sys_latencies, aug_latencies in zip(sys_collections, aug_collections)
+    ]
     return DiscrepancyReductionResult(
         labels=list(traffic_levels), original=original, augmented=augmented
     )
@@ -362,26 +382,44 @@ def fig15_discrepancy_under_resources(
 ) -> DiscrepancyReductionResult:
     """Reproduce Fig. 15: discrepancy reduction over the CPU × UL-bandwidth grid."""
     scale = scale if scale is not None else get_scale()
-    system = make_real_network(seed=1)
-    original_sim = make_simulator(seed=0)
-    augmented_sim = original_sim.with_params(best_parameters)
+    sys_engine = MeasurementEngine(make_real_network(seed=1))
+    sim_engine = MeasurementEngine(make_simulator(seed=0))
     levels = np.linspace(0.1, 0.9, scale.heatmap_resolution)
-    labels, original, augmented = [], [], []
     base = default_deployed_config()
+    labels, cells = [], []
     for i, ul_fraction in enumerate(levels):
         for j, cpu_fraction in enumerate(levels):
-            config = base.replace(cpu_ratio=float(cpu_fraction), bandwidth_ul=float(50.0 * ul_fraction))
-            seed = 300 + i * len(levels) + j
-            sys_latencies = system.collect_latencies(
-                config, traffic=1, duration=scale.measurement_duration_s, seed=seed
-            )
-            orig_latencies = original_sim.collect_latencies(
-                config, traffic=1, duration=scale.measurement_duration_s, seed=seed
-            )
-            aug_latencies = augmented_sim.collect_latencies(
-                config, traffic=1, duration=scale.measurement_duration_s, seed=seed
-            )
             labels.append((round(float(ul_fraction), 2), round(float(cpu_fraction), 2)))
-            original.append(histogram_kl_divergence(sys_latencies, orig_latencies))
-            augmented.append(histogram_kl_divergence(sys_latencies, aug_latencies))
+            cells.append(
+                (
+                    base.replace(
+                        cpu_ratio=float(cpu_fraction), bandwidth_ul=float(50.0 * ul_fraction)
+                    ),
+                    300 + i * len(levels) + j,
+                )
+            )
+
+    def requests(params: SimulationParameters | None) -> list[MeasurementRequest]:
+        return [
+            MeasurementRequest(
+                config=config,
+                traffic=1,
+                duration=scale.measurement_duration_s,
+                seed=seed,
+                params=params,
+            )
+            for config, seed in cells
+        ]
+
+    sys_collections = sys_engine.collect_latencies_batch(requests(None))
+    orig_collections = sim_engine.collect_latencies_batch(requests(None))
+    aug_collections = sim_engine.collect_latencies_batch(requests(best_parameters))
+    original = [
+        histogram_kl_divergence(sys_latencies, orig_latencies)
+        for sys_latencies, orig_latencies in zip(sys_collections, orig_collections)
+    ]
+    augmented = [
+        histogram_kl_divergence(sys_latencies, aug_latencies)
+        for sys_latencies, aug_latencies in zip(sys_collections, aug_collections)
+    ]
     return DiscrepancyReductionResult(labels=labels, original=original, augmented=augmented)

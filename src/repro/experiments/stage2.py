@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.baselines.dlda import DLDA, DLDAConfig
 from repro.baselines.gp_bo import GPConfigurationOptimizer, GPOptimizerConfig
 from repro.core.offline_training import (
@@ -19,6 +17,7 @@ from repro.core.offline_training import (
     OfflineTrainingConfig,
     OfflineTrainingResult,
 )
+from repro.engine import MeasurementEngine
 from repro.experiments.scale import ExperimentScale, get_scale
 from repro.experiments.scenarios import default_sla, make_simulator
 from repro.prototype.slice_manager import SLA
@@ -100,9 +99,11 @@ class OfflineMethodPoint:
 
 
 def _evaluate_config(
-    simulator: NetworkSimulator, config: SliceConfig, sla: SLA, scale: ExperimentScale, seed: int
+    engine: MeasurementEngine, config: SliceConfig, sla: SLA, scale: ExperimentScale, seed: int
 ) -> tuple[float, float]:
-    result = simulator.run(config, traffic=1, duration=scale.measurement_duration_s, seed=seed)
+    # The engine's shared cache makes the repeated per-method evaluations of
+    # the Fig. 18/19 sweeps free when the winning configuration repeats.
+    result = engine.run(config, traffic=1, duration=scale.measurement_duration_s, seed=seed)
     return result.qoe(sla.latency_threshold_ms), config.resource_usage()
 
 
@@ -115,6 +116,7 @@ def fig17_offline_comparison(
     scale = scale if scale is not None else get_scale()
     sla = sla if sla is not None else default_sla()
     simulator = _make_augmented_simulator()
+    engine = MeasurementEngine(simulator)
     points: list[OfflineMethodPoint] = []
 
     for method in methods:
@@ -161,7 +163,7 @@ def fig17_offline_comparison(
         else:
             raise ValueError(f"unknown offline method {method!r}")
 
-        qoe, usage = _evaluate_config(simulator, best_config, sla, scale, seed=99)
+        qoe, usage = _evaluate_config(engine, best_config, sla, scale, seed=99)
         points.append(
             OfflineMethodPoint(
                 method=method, qoe=qoe, resource_usage=usage, config=tuple(best_config.to_array())

@@ -22,6 +22,7 @@ from repro.core.online_learning import (
     OnlineLearningResult,
 )
 from repro.core.policy import OfflinePolicy
+from repro.engine import MeasurementEngine, MeasurementRequest
 from repro.experiments.scale import ExperimentScale, get_scale
 from repro.experiments.scenarios import default_sla, make_real_network
 from repro.experiments.stage2 import _make_augmented_simulator, offline_training_config
@@ -411,19 +412,23 @@ def fig24_stage_ablation(
             usages = atlas_result.stage3.usages()
             qoes = atlas_result.stage3.qoes()
         else:
-            # Without online learning the offline best action is applied repeatedly.
+            # Without online learning the offline best action is applied
+            # repeatedly; the repeats go out as one engine batch.
             policy = atlas_result.offline_policy
-            usages, qoes = [], []
-            for iteration in range(scale.stage3_iterations):
-                measurement = real_network.measure(
-                    policy.best_config,
+            requests = [
+                MeasurementRequest(
+                    config=policy.best_config,
                     traffic=1,
                     duration=scale.measurement_duration_s,
                     seed=iteration,
                 )
-                usages.append(policy.best_config.resource_usage())
-                qoes.append(measurement.qoe(sla.latency_threshold_ms))
-            usages, qoes = np.array(usages), np.array(qoes)
+                for iteration in range(scale.stage3_iterations)
+            ]
+            measurements = MeasurementEngine(real_network).run_batch(requests)
+            usages = np.array(
+                [policy.best_config.resource_usage() for _ in measurements]
+            )
+            qoes = np.array([m.qoe(sla.latency_threshold_ms) for m in measurements])
 
         result.footprints[variant] = {"usage": np.asarray(usages), "qoe": np.asarray(qoes)}
         result.mean_qoe[variant] = float(np.mean(qoes)) if len(qoes) else 0.0

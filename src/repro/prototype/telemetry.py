@@ -12,7 +12,7 @@ loaded from JSON (the artifact uses pickle; JSON keeps the files readable).
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 import numpy as np

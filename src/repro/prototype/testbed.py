@@ -20,6 +20,8 @@ applied (quantised, clamped) configuration history is available, exactly as
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
 import numpy as np
 
 from repro.prototype.domain_managers import EndToEndOrchestrator
@@ -28,6 +30,9 @@ from repro.sim.imperfections import Imperfections
 from repro.sim.network import NetworkSimulator, SimulationResult
 from repro.sim.parameters import SimulationParameters
 from repro.sim.scenario import Scenario
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.protocol import MeasurementRequest
 
 __all__ = ["RealNetwork", "default_ground_truth", "default_imperfections"]
 
@@ -133,6 +138,37 @@ class RealNetwork:
             seed=self.seed,
             isolation=self.isolation,
         )
+
+    def fingerprint(self) -> tuple:
+        """Content identity of the testbed (Environment protocol).
+
+        Note: engine batches against the testbed are cache-keyed on the
+        *resolved* inner simulator's fingerprint (see :meth:`prepare_batch`),
+        which is equivalent content — this method exists for protocol
+        conformance and direct fingerprint comparisons.
+        """
+        return ("real",) + self._engine.fingerprint()
+
+    # ------------------------------------------------------------ engine hook
+    def prepare_batch(
+        self, requests: Sequence["MeasurementRequest"]
+    ) -> tuple[NetworkSimulator, list["MeasurementRequest"]]:
+        """Resolve engine requests into pure simulator runs.
+
+        Each requested configuration is applied through the domain managers
+        in the calling process — exactly as :meth:`measure` does — so the
+        quantised/clamped configuration history stays correct even when the
+        measurements themselves are dispatched to worker processes or served
+        from the engine's cache.  Unseeded requests fall back to the
+        measurement counter, matching the direct :meth:`measure` path.
+        """
+        prepared = []
+        for request in requests:
+            record = self.orchestrator.apply(request.config)
+            self.measurement_count += 1
+            seed = request.seed if request.seed is not None else self.measurement_count
+            prepared.append(request.replace(config=record.applied, seed=seed))
+        return self._engine, prepared
 
     # ----------------------------------------------------------- measurements
     def measure(

@@ -98,7 +98,10 @@ class NetworkSimulator:
         self.imperfections = imperfections if imperfections is not None else Imperfections.none()
         self.seed = int(seed)
         self.isolation = isolation
-        self._run_counter = 0
+        # Auto-seed stream for seed=None runs: spawning from a SeedSequence is
+        # deterministic per instance and cannot collide with explicit per-run
+        # seeds (which previously shared the counter's key space).
+        self._auto_seed_stream = np.random.SeedSequence([self.seed, 0x5EED])
 
     # ----------------------------------------------------------------- helpers
     def with_params(self, params: SimulationParameters) -> "NetworkSimulator":
@@ -123,9 +126,18 @@ class NetworkSimulator:
 
     def _make_rng(self, seed: int | None) -> np.random.Generator:
         if seed is None:
-            self._run_counter += 1
-            seed = self._run_counter
+            # Unseeded runs draw from a per-instance spawn stream: results are
+            # reproducible given construction + call order, and explicit-seed
+            # runs are unaffected by how many unseeded runs preceded them (the
+            # old mutable run counter broke both properties and was unsafe
+            # under parallel execution; the engine resolves seeds before
+            # dispatch so None never reaches a worker).
+            return np.random.default_rng(self._auto_seed_stream.spawn(1)[0])
         return np.random.default_rng(np.random.SeedSequence([self.seed, int(seed) & 0x7FFFFFFF]))
+
+    def fingerprint(self) -> tuple:
+        """Content identity of this simulator (engine cache key component)."""
+        return ("sim", self.params, self.scenario, self.imperfections, self.seed, self.isolation)
 
     # --------------------------------------------------------------------- run
     def run(

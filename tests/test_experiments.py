@@ -39,6 +39,32 @@ class TestScale:
         assert isinstance(SMOKE, ExperimentScale)
 
 
+class TestCollectOnlineDataset:
+    def test_zero_runs_returns_empty_float64(self, real_network):
+        from repro.experiments.scenarios import collect_online_dataset
+        from repro.models.scaler import StandardScaler
+
+        collection = collect_online_dataset(real_network, runs=0)
+        assert collection.dtype == np.float64
+        assert collection.size == 0
+        # The empty collection must not break downstream scaler plumbing.
+        scaler = StandardScaler()
+        scaler.fit(np.concatenate([collection, np.array([1.0, 2.0, 3.0])]).reshape(-1, 1))
+
+    def test_negative_runs_raises(self, real_network):
+        from repro.experiments.scenarios import collect_online_dataset
+
+        with pytest.raises(ValueError):
+            collect_online_dataset(real_network, runs=-1)
+
+    def test_positive_runs_concatenates_measurements(self, real_network):
+        from repro.experiments.scenarios import collect_online_dataset
+
+        collection = collect_online_dataset(real_network, runs=2, duration_s=6.0)
+        assert collection.dtype == np.float64
+        assert collection.size > 0
+
+
 class TestMotivationRunners:
     def test_table1_rows(self):
         rows = motivation.table1_network_performance(SMOKE)

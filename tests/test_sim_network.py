@@ -1,7 +1,6 @@
 """Integration tests of the end-to-end simulator facade."""
 
 import numpy as np
-import pytest
 
 from repro.sim.config import SliceConfig
 from repro.sim.imperfections import Imperfections
