@@ -6,6 +6,9 @@ one offline policy per traffic level in the augmented simulator, then learns
 online at each level with a relaxed 500 ms threshold (the setup of
 Figs. 25–26), and reports how the recommended configuration scales with load.
 
+The traffic levels are drawn from the scenario catalog's diurnal trace and
+the budgets follow ``ATLAS_BENCH_SCALE`` (smoke / small / paper).
+
 Run with:  python examples/dynamic_traffic_adaptation.py
 """
 
@@ -16,13 +19,16 @@ import numpy as np
 from repro import NetworkSimulator, RealNetwork, SLA
 from repro.core.offline_training import OfflineConfigurationTrainer, OfflineTrainingConfig
 from repro.core.online_learning import OnlineConfigurationLearner, OnlineLearningConfig
+from repro.experiments.scale import get_scale
 from repro.prototype.testbed import default_ground_truth
 from repro.sim.scenario import Scenario
 
 
 def configure_for_traffic(traffic: int) -> dict:
     """Train offline and learn online for one traffic level; return a summary."""
-    scenario = Scenario(traffic=traffic, duration_s=20.0)
+    scale = get_scale()
+    duration = scale.measurement_duration_s
+    scenario = Scenario(traffic=traffic, duration_s=duration)
     sla = SLA(latency_threshold_ms=500.0, availability=0.9)
     augmented_simulator = NetworkSimulator(scenario=scenario, seed=0).with_params(
         default_ground_truth()
@@ -33,8 +39,14 @@ def configure_for_traffic(traffic: int) -> dict:
         simulator=augmented_simulator,
         sla=sla,
         traffic=traffic,
-        config=OfflineTrainingConfig(iterations=20, initial_random=6, parallel_queries=3,
-                                     candidate_pool=600, measurement_duration_s=20.0, seed=traffic),
+        config=OfflineTrainingConfig(
+            iterations=scale.stage2_iterations,
+            initial_random=scale.stage2_initial_random,
+            parallel_queries=scale.stage2_parallel,
+            candidate_pool=scale.stage2_candidate_pool,
+            measurement_duration_s=duration,
+            seed=traffic,
+        ),
     )
     policy = trainer.run().policy
 
@@ -44,8 +56,13 @@ def configure_for_traffic(traffic: int) -> dict:
         real_network=real_network,
         sla=sla,
         traffic=traffic,
-        config=OnlineLearningConfig(iterations=10, offline_queries_per_step=5,
-                                    candidate_pool=600, measurement_duration_s=20.0, seed=traffic),
+        config=OnlineLearningConfig(
+            iterations=scale.stage3_iterations,
+            offline_queries_per_step=scale.stage3_offline_queries,
+            candidate_pool=scale.stage3_candidate_pool,
+            measurement_duration_s=duration,
+            seed=traffic,
+        ),
     )
     online = learner.run()
     best = online.policy.best_config
@@ -61,9 +78,17 @@ def configure_for_traffic(traffic: int) -> dict:
 
 
 def main() -> None:
+    from repro.scenarios import get_scenario
+
+    # Train one policy per representative point of the diurnal day/night
+    # curve: the trough (step 0), the rounded mean, and the peak (half a
+    # period in).
+    trace = get_scenario("frame-offloading-diurnal").primary.trace
+    levels = sorted({trace.level(0), round(trace.mean_level()), trace.level(trace.period // 2)})
+    print(f"diurnal trace levels: trough/mean/peak -> {levels}")
     print("traffic | offline usage | online usage | mean QoE | UL PRBs | backhaul | CPU")
     print("-" * 80)
-    summaries = [configure_for_traffic(traffic) for traffic in (1, 2, 4)]
+    summaries = [configure_for_traffic(traffic) for traffic in levels]
     for row in summaries:
         print(f"{row['traffic']:^7d} | {100 * row['offline_usage']:12.1f}% "
               f"| {100 * row['online_usage']:11.1f}% | {row['mean_online_qoe']:8.3f} "

@@ -1,36 +1,44 @@
 """Quickstart: measure a slice, quantify the sim-to-real gap, run Atlas end to end.
 
-This example walks through the public API in five minutes of compute:
+This example walks through the public API in a few minutes of compute:
 
-1. build the offline simulator and the real-network testbed substitute,
+1. build the offline simulator and the real-network testbed substitute from
+   the scenario catalog's ``frame-offloading`` entry,
 2. measure one slice configuration on both and compare (the motivation of
    the paper: the sim-to-real discrepancy),
-3. run the full three-stage Atlas pipeline on a small budget, and
+3. run the full three-stage Atlas pipeline, and
 4. print the configuration Atlas converged to and its regrets.
+
+Budgets follow ``ATLAS_BENCH_SCALE`` (smoke / small / paper); the same
+pipeline is also available as ``python -m repro run --scenario
+frame-offloading --stage all``.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import Atlas, AtlasConfig, NetworkSimulator, RealNetwork, SLA, SliceConfig
+from repro import Atlas, AtlasConfig
 from repro.core.offline_training import OfflineTrainingConfig
 from repro.core.online_learning import OnlineLearningConfig
 from repro.core.simulator_learning import ParameterSearchConfig
+from repro.experiments.scale import get_scale
 from repro.metrics import histogram_kl_divergence
-from repro.sim.scenario import Scenario
+from repro.scenarios import get_scenario
 
 
 def main() -> None:
-    scenario = Scenario(traffic=1, duration_s=20.0)
-    simulator = NetworkSimulator(scenario=scenario, seed=0)
-    real_network = RealNetwork(scenario=scenario, seed=1)
-    sla = SLA(latency_threshold_ms=300.0, availability=0.9)
+    scale = get_scale()
+    duration = scale.measurement_duration_s
+    workload = get_scenario("frame-offloading").primary
+    simulator = workload.make_simulator(seed=0)
+    real_network = workload.make_real_network(seed=1)
+    sla = workload.sla
 
     # ------------------------------------------------------------------ step 1
-    config = SliceConfig(bandwidth_ul=10, bandwidth_dl=5, backhaul_bw=10, cpu_ratio=0.8)
-    sim_result = simulator.run(config, traffic=1, seed=1)
-    real_result = real_network.measure(config, traffic=1, seed=1)
+    config = workload.deployed_config
+    sim_result = simulator.run(config, traffic=1, duration=duration, seed=1)
+    real_result = real_network.measure(config, traffic=1, duration=duration, seed=1)
     discrepancy = histogram_kl_divergence(real_result.latencies_ms, sim_result.latencies_ms)
 
     print("== The sim-to-real gap under one mid-range configuration ==")
@@ -41,7 +49,7 @@ def main() -> None:
     print(f"KL divergence between the latency distributions: {discrepancy:.2f}\n")
 
     # ------------------------------------------------------------------ step 2
-    print("== Running the three Atlas stages (small budget) ==")
+    print(f"== Running the three Atlas stages ({scale.name} budget) ==")
     atlas = Atlas(
         simulator,
         real_network,
@@ -49,14 +57,28 @@ def main() -> None:
             sla=sla,
             traffic=1,
             deployed_config=config,
-            online_collection_runs=2,
-            online_collection_duration_s=20.0,
-            stage1=ParameterSearchConfig(iterations=10, initial_random=4, parallel_queries=3,
-                                         candidate_pool=600, measurement_duration_s=20.0),
-            stage2=OfflineTrainingConfig(iterations=20, initial_random=6, parallel_queries=3,
-                                         candidate_pool=600, measurement_duration_s=20.0),
-            stage3=OnlineLearningConfig(iterations=12, offline_queries_per_step=5,
-                                        candidate_pool=600, measurement_duration_s=20.0),
+            online_collection_runs=max(2, scale.motivation_runs),
+            online_collection_duration_s=duration,
+            stage1=ParameterSearchConfig(
+                iterations=scale.stage1_iterations,
+                initial_random=scale.stage1_initial_random,
+                parallel_queries=scale.stage1_parallel,
+                candidate_pool=scale.stage1_candidate_pool,
+                measurement_duration_s=duration,
+            ),
+            stage2=OfflineTrainingConfig(
+                iterations=scale.stage2_iterations,
+                initial_random=scale.stage2_initial_random,
+                parallel_queries=scale.stage2_parallel,
+                candidate_pool=scale.stage2_candidate_pool,
+                measurement_duration_s=duration,
+            ),
+            stage3=OnlineLearningConfig(
+                iterations=scale.stage3_iterations,
+                offline_queries_per_step=scale.stage3_offline_queries,
+                candidate_pool=scale.stage3_candidate_pool,
+                measurement_duration_s=duration,
+            ),
         ),
     )
     result = atlas.run_all()

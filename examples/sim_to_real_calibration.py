@@ -7,6 +7,8 @@ parameters of Table 3 so that the simulator's latency distribution matches
 the log — without drifting unreasonably far from the parameters derived from
 technical specifications (the weighted parameter-distance penalty).
 
+Budgets follow ``ATLAS_BENCH_SCALE`` (smoke / small / paper).
+
 Run with:  python examples/sim_to_real_calibration.py
 """
 
@@ -14,30 +16,34 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import NetworkSimulator, RealNetwork, SliceConfig
 from repro.core.simulator_learning import ParameterSearchConfig, SimulatorParameterSearch
 from repro.core.spaces import SimulationParameterSpace
+from repro.experiments.scale import get_scale
 from repro.metrics import histogram_kl_divergence, summarize_latencies
 from repro.prototype.telemetry import OnlineCollection
+from repro.scenarios import get_scenario
 from repro.sim.parameters import PARAMETER_NAMES
-from repro.sim.scenario import Scenario
 
 
 def main() -> None:
-    scenario = Scenario(traffic=1, duration_s=30.0)
-    simulator = NetworkSimulator(scenario=scenario, seed=0)
-    real_network = RealNetwork(scenario=scenario, seed=1)
-    deployed = SliceConfig(bandwidth_ul=10, bandwidth_dl=5, backhaul_bw=10, cpu_ratio=0.8)
+    scale = get_scale()
+    duration = max(scale.measurement_duration_s, 10.0)
+    workload = get_scenario("frame-offloading").primary
+    simulator = workload.make_simulator(seed=0)
+    real_network = workload.make_real_network(seed=1)
+    deployed = workload.deployed_config
 
     # 1. Build the online collection D_r by logging the deployed configuration.
     collection = OnlineCollection()
-    for run in range(3):
-        collection.extend(real_network.collect_latencies(deployed, traffic=1, seed=100 + run))
+    for run in range(max(2, scale.motivation_runs)):
+        collection.extend(
+            real_network.collect_latencies(deployed, traffic=1, duration=duration, seed=100 + run)
+        )
     print(f"online collection D_r: {len(collection)} latency samples, "
           f"mean {summarize_latencies(collection.samples()).mean:.1f} ms")
 
     # 2. Quantify the discrepancy of the original simulator.
-    original_latencies = simulator.collect_latencies(deployed, traffic=1, seed=7)
+    original_latencies = simulator.collect_latencies(deployed, traffic=1, duration=duration, seed=7)
     original_kl = histogram_kl_divergence(collection.samples(), original_latencies)
     print(f"original simulator discrepancy KL[D_r || D_s] = {original_kl:.2f}")
 
@@ -48,8 +54,12 @@ def main() -> None:
         deployed_config=deployed,
         space=SimulationParameterSpace(),
         config=ParameterSearchConfig(
-            iterations=15, initial_random=5, parallel_queries=4,
-            candidate_pool=800, measurement_duration_s=30.0, alpha=7.0,
+            iterations=scale.stage1_iterations,
+            initial_random=scale.stage1_initial_random,
+            parallel_queries=scale.stage1_parallel,
+            candidate_pool=scale.stage1_candidate_pool,
+            measurement_duration_s=duration,
+            alpha=7.0,
         ),
     )
     result = search.run()
@@ -66,9 +76,9 @@ def main() -> None:
     # 4. Validate the augmented simulator on a traffic level it was NOT calibrated on.
     augmented = simulator.with_params(result.best_parameters)
     for traffic in (1, 3):
-        real = real_network.collect_latencies(deployed, traffic=traffic, seed=50 + traffic)
-        orig = simulator.collect_latencies(deployed, traffic=traffic, seed=50 + traffic)
-        aug = augmented.collect_latencies(deployed, traffic=traffic, seed=50 + traffic)
+        real = real_network.collect_latencies(deployed, traffic=traffic, duration=duration, seed=50 + traffic)
+        orig = simulator.collect_latencies(deployed, traffic=traffic, duration=duration, seed=50 + traffic)
+        aug = augmented.collect_latencies(deployed, traffic=traffic, duration=duration, seed=50 + traffic)
         print(f"traffic {traffic}: KL original {histogram_kl_divergence(real, orig):.2f}  "
               f"KL augmented {histogram_kl_divergence(real, aug):.2f}")
 

@@ -12,6 +12,8 @@ CPU for the slice — using as little of each as possible.  The example
 3. refines it online against the real network with safe exploration
    (stage 3), comparing the outcome against the DLDA baseline.
 
+Budgets follow ``ATLAS_BENCH_SCALE`` (smoke / small / paper).
+
 Run with:  python examples/slice_configuration_lifecycle.py
 """
 
@@ -23,13 +25,16 @@ from repro import NetworkSimulator, RealNetwork, SLA, SliceConfig
 from repro.baselines.dlda import DLDA, DLDAConfig
 from repro.core.offline_training import OfflineConfigurationTrainer, OfflineTrainingConfig
 from repro.core.online_learning import OnlineConfigurationLearner, OnlineLearningConfig
+from repro.experiments.scale import get_scale
 from repro.prototype.slice_manager import NetworkSlice, SliceManager
 from repro.prototype.testbed import default_ground_truth
 from repro.sim.scenario import Scenario
 
 
 def main() -> None:
-    scenario = Scenario(traffic=2, duration_s=20.0)
+    scale = get_scale()
+    duration = scale.measurement_duration_s
+    scenario = Scenario(traffic=2, duration_s=duration)
     sla = SLA(latency_threshold_ms=300.0, availability=0.9)
     real_network = RealNetwork(scenario=scenario, seed=3)
 
@@ -57,8 +62,13 @@ def main() -> None:
         simulator=augmented_simulator,
         sla=sla,
         traffic=scenario.traffic,
-        config=OfflineTrainingConfig(iterations=25, initial_random=8, parallel_queries=3,
-                                     candidate_pool=800, measurement_duration_s=20.0),
+        config=OfflineTrainingConfig(
+            iterations=scale.stage2_iterations,
+            initial_random=scale.stage2_initial_random,
+            parallel_queries=scale.stage2_parallel,
+            candidate_pool=scale.stage2_candidate_pool,
+            measurement_duration_s=duration,
+        ),
     )
     offline = trainer.run()
     policy = offline.policy
@@ -77,8 +87,12 @@ def main() -> None:
         real_network=real_network,
         sla=sla,
         traffic=scenario.traffic,
-        config=OnlineLearningConfig(iterations=15, offline_queries_per_step=8,
-                                    candidate_pool=800, measurement_duration_s=20.0),
+        config=OnlineLearningConfig(
+            iterations=scale.stage3_iterations,
+            offline_queries_per_step=scale.stage3_offline_queries,
+            candidate_pool=scale.stage3_candidate_pool,
+            measurement_duration_s=duration,
+        ),
     )
     online = learner.run()
     qoes = online.qoes()
@@ -96,8 +110,12 @@ def main() -> None:
         simulator=NetworkSimulator(scenario=scenario, seed=0),
         sla=sla,
         traffic=scenario.traffic,
-        config=DLDAConfig(grid_points_per_dim=3, selection_pool=2000,
-                          online_iterations=15, measurement_duration_s=20.0),
+        config=DLDAConfig(
+            grid_points_per_dim=scale.dlda_grid_points,
+            selection_pool=scale.dlda_selection_pool,
+            online_iterations=scale.stage3_iterations,
+            measurement_duration_s=duration,
+        ),
     )
     dlda_result = dlda.run_online(RealNetwork(scenario=scenario, seed=4))
     print(f"DLDA mean usage {100 * float(np.mean(dlda_result.usages())):.1f}%  "

@@ -11,17 +11,20 @@ configuration of end-to-end network slices with three interrelated stages:
    of the sim-to-real QoE difference and a conservative acquisition function.
 
 This package provides the full system: the discrete-event network simulator
-substrate (``repro.sim``), the real-network testbed substitute
-(``repro.prototype``), the learning stack (``repro.models``), the three Atlas
-stages (``repro.core``), the baselines the paper compares against
-(``repro.baselines``) and the experiment runners used by the benchmark
-harness (``repro.experiments``).
+substrate (``repro.sim``, including multi-slice contention), the
+real-network testbed substitute (``repro.prototype``), the learning stack
+(``repro.models``), the three Atlas stages (``repro.core``), the baselines
+the paper compares against (``repro.baselines``), the experiment runners
+used by the benchmark harness (``repro.experiments``), the scenario catalog
+of named slice workloads (``repro.scenarios``) and the ``python -m repro``
+command line (``repro.cli``).
 """
 
 from repro.core.atlas import Atlas, AtlasConfig
 from repro.core.spaces import ConfigurationSpace, SimulationParameterSpace
 from repro.prototype.slice_manager import SLA
 from repro.prototype.testbed import RealNetwork
+from repro.scenarios import get_scenario, list_scenarios
 from repro.sim.config import SliceConfig
 from repro.sim.network import NetworkSimulator
 from repro.sim.parameters import SimulationParameters
@@ -36,6 +39,8 @@ __all__ = [
     "NetworkSimulator",
     "SimulationParameters",
     "RealNetwork",
+    "get_scenario",
+    "list_scenarios",
 ]
 
 __version__ = "1.0.0"

@@ -49,6 +49,7 @@ class DLDAConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
+        """Validate field values after dataclass initialisation."""
         if self.grid_points_per_dim < 2:
             raise ValueError("grid_points_per_dim must be >= 2")
         if self.selection_pool < 10:

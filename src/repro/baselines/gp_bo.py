@@ -47,6 +47,7 @@ class GPOptimizerConfig:
     initial_config: SliceConfig | None = None
 
     def __post_init__(self) -> None:
+        """Validate field values after dataclass initialisation."""
         if self.iterations < 1:
             raise ValueError("iterations must be >= 1")
         if self.acquisition not in ("ei", "pi", "ucb"):

@@ -42,6 +42,7 @@ class VirtualEdgeConfig:
     initial_config: SliceConfig | None = None
 
     def __post_init__(self) -> None:
+        """Validate field values after dataclass initialisation."""
         if self.iterations < 1:
             raise ValueError("iterations must be >= 1")
         if self.step_size <= 0 or self.probe <= 0:

@@ -1,0 +1,443 @@
+"""The ``python -m repro`` command line: run any catalog scenario end to end.
+
+Three subcommands cover the catalog workflow:
+
+``list-scenarios``
+    One line per registered catalog entry (name, slices, traffic, SLA).
+``show <name>``
+    Full detail of one entry: per-slice scenarios, deployed configurations,
+    traffic traces, contention budget and stage-1 search defaults.
+``run --scenario <name> --stage 1|2|3|all``
+    Execute the Atlas pipeline on a catalog entry.  Stage budgets come from
+    ``--scale`` (smoke / small / paper, the ``ATLAS_BENCH_SCALE`` levels)
+    and every measurement engine uses ``--executor`` (serial / thread /
+    process, the ``ATLAS_ENGINE_EXECUTOR`` kinds).  Multi-slice entries
+    measure all slices concurrently under resource contention before and
+    after optimisation; dynamic entries replay their traffic trace during
+    online learning.
+
+Stage semantics: ``--stage 1`` searches simulation parameters only;
+``--stage 2`` trains offline against the *original* simulator; ``--stage 3``
+first trains the prerequisite offline policy, then learns online;
+``--stage all`` chains 1 → 2 → 3 with stage 1's parameters feeding the
+later stages.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Sequence
+
+from repro.core.offline_training import OfflineConfigurationTrainer, OfflineTrainingConfig
+from repro.core.online_learning import OnlineConfigurationLearner, OnlineLearningConfig
+from repro.core.simulator_learning import ParameterSearchConfig, SimulatorParameterSearch
+from repro.core.spaces import SimulationParameterSpace
+from repro.engine.executors import EXECUTOR_ENV_VAR, EXECUTOR_KINDS
+from repro.experiments.scale import SCALES, ExperimentScale, get_scale
+from repro.experiments.scenarios import collect_online_dataset
+from repro.scenarios import (
+    ScenarioSpec,
+    SliceWorkload,
+    UnknownScenarioError,
+    get_scenario,
+    list_scenarios,
+)
+from repro.sim.multislice import CONTENDED_DIMENSIONS, MultiSliceResult, SliceRun
+
+__all__ = ["build_parser", "main"]
+
+
+# ------------------------------------------------------------------ formatting
+def _sla_label(workload: SliceWorkload) -> str:
+    sla = workload.sla
+    return f"{sla.latency_threshold_ms:.0f}ms @ {100.0 * sla.availability:.0f}%"
+
+
+def _traffic_label(workload: SliceWorkload) -> str:
+    if workload.trace is None:
+        return str(workload.scenario.traffic)
+    return f"{type(workload.trace).__name__}(~{workload.mean_traffic()})"
+
+
+def _print_multislice_round(result: MultiSliceResult, title: str) -> None:
+    print(f"\n{result.format_table(title)}")
+
+
+# -------------------------------------------------------------------- pipeline
+def _stage1(
+    workload: SliceWorkload, spec: ScenarioSpec, scale: ExperimentScale, duration: float, seed: int
+) -> dict:
+    """Search the simulation parameters against the workload's testbed (stage 1)."""
+    simulator = workload.make_simulator(seed=seed)
+    real_network = workload.make_real_network(seed=seed + 1)
+    real_collection = collect_online_dataset(
+        real_network,
+        config=workload.deployed_config,
+        traffic=workload.mean_traffic(),
+        runs=scale.motivation_runs,
+        duration_s=duration,
+    )
+    search = SimulatorParameterSearch(
+        simulator=simulator,
+        real_collection=real_collection,
+        deployed_config=workload.deployed_config,
+        space=SimulationParameterSpace(
+            original=simulator.params, distance_threshold=spec.stage1_distance_threshold
+        ),
+        config=ParameterSearchConfig(
+            iterations=scale.stage1_iterations,
+            initial_random=scale.stage1_initial_random,
+            parallel_queries=scale.stage1_parallel,
+            candidate_pool=scale.stage1_candidate_pool,
+            measurement_duration_s=duration,
+            alpha=spec.stage1_alpha,
+            seed=seed,
+        ),
+        traffic=workload.mean_traffic(),
+    )
+    result = search.run()
+    print(
+        f"  stage 1: discrepancy {result.original_discrepancy:.3f} -> "
+        f"{result.best_discrepancy:.3f} (parameter distance {result.best_distance:.3f})"
+    )
+    return {
+        "original_discrepancy": result.original_discrepancy,
+        "best_discrepancy": result.best_discrepancy,
+        "best_distance": result.best_distance,
+        "best_parameters": list(result.best_parameters.to_array()),
+        "_result": result,
+    }
+
+
+def _stage2(
+    workload: SliceWorkload,
+    scale: ExperimentScale,
+    duration: float,
+    seed: int,
+    params=None,
+    announce: bool = True,
+) -> dict:
+    """Train the offline configuration policy in the (augmented) simulator (stage 2)."""
+    simulator = workload.make_simulator(seed=seed)
+    if params is not None:
+        simulator = simulator.with_params(params)
+    trainer = OfflineConfigurationTrainer(
+        simulator=simulator,
+        sla=workload.sla,
+        traffic=workload.mean_traffic(),
+        config=OfflineTrainingConfig(
+            iterations=scale.stage2_iterations,
+            initial_random=scale.stage2_initial_random,
+            parallel_queries=scale.stage2_parallel,
+            candidate_pool=scale.stage2_candidate_pool,
+            measurement_duration_s=duration,
+            seed=seed,
+        ),
+    )
+    result = trainer.run()
+    policy = result.policy
+    if announce:
+        print(
+            f"  stage 2: best offline config at {100 * policy.best_usage:.1f}% usage, "
+            f"simulator QoE {policy.best_qoe:.3f}"
+        )
+    return {
+        "best_usage": policy.best_usage,
+        "best_qoe": policy.best_qoe,
+        "best_config": list(policy.best_config.to_array()),
+        "_policy": policy,
+        "_simulator": simulator,
+    }
+
+
+def _stage3(
+    workload: SliceWorkload,
+    scale: ExperimentScale,
+    duration: float,
+    seed: int,
+    offline: dict,
+) -> dict:
+    """Learn online against the real network (stage 3), replaying any traffic trace."""
+    real_network = workload.make_real_network(seed=seed + 1)
+    levels = [workload.traffic_at(step) for step in range(scale.stage3_iterations)]
+    segments: list[tuple[int, int]] = []  # (traffic level, iterations)
+    for level in levels:
+        if segments and segments[-1][0] == level:
+            segments[-1] = (level, segments[-1][1] + 1)
+        else:
+            segments.append((level, 1))
+    usages: list[float] = []
+    qoes: list[float] = []
+    violations = 0
+    last_config = None
+    for index, (level, iterations) in enumerate(segments):
+        learner = OnlineConfigurationLearner(
+            offline_policy=offline["_policy"],
+            simulator=offline["_simulator"],
+            real_network=real_network,
+            sla=workload.sla,
+            traffic=level,
+            config=OnlineLearningConfig(
+                iterations=iterations,
+                offline_queries_per_step=scale.stage3_offline_queries,
+                candidate_pool=scale.stage3_candidate_pool,
+                measurement_duration_s=duration,
+                simulator_duration_s=max(duration / 2.0, 5.0),
+                seed=seed + index,
+            ),
+        )
+        result = learner.run()
+        usages.extend(result.usages().tolist())
+        qoes.extend(result.qoes().tolist())
+        violations += sum(1 for record in result.history if not record.sla_met)
+        last_config = result.policy.best_config
+    iterations_total = max(1, len(usages))
+    mean_usage = sum(usages) / iterations_total
+    mean_qoe = sum(qoes) / iterations_total
+    print(
+        f"  stage 3: {len(segments)} traffic segment(s), mean usage {100 * mean_usage:.1f}%, "
+        f"mean QoE {mean_qoe:.3f}, SLA violations {violations}/{len(usages)}"
+    )
+    best_config = last_config if last_config is not None else offline["_policy"].best_config
+    return {
+        "segments": [{"traffic": level, "iterations": n} for level, n in segments],
+        "mean_usage": mean_usage,
+        "mean_qoe": mean_qoe,
+        "sla_violations": violations,
+        "best_config": list(best_config.to_array()),
+        "_best_config": best_config,
+    }
+
+
+def _run_workload(
+    workload: SliceWorkload,
+    spec: ScenarioSpec,
+    stages: set[str],
+    scale: ExperimentScale,
+    duration: float,
+    seed: int,
+) -> dict:
+    """Run the requested stages for one slice workload and return its summary."""
+    print(
+        f"\n[{workload.name}] traffic {_traffic_label(workload)}, SLA {_sla_label(workload)}"
+    )
+    summary: dict = {"slice": workload.name}
+    params = None
+    if "1" in stages:
+        summary["stage1"] = _stage1(workload, spec, scale, duration, seed)
+        params = summary["stage1"]["_result"].best_parameters
+    offline = None
+    if "2" in stages:
+        offline = _stage2(workload, scale, duration, seed, params=params)
+        summary["stage2"] = offline
+    if "3" in stages:
+        if offline is None:
+            print("  stage 3: training prerequisite offline policy first")
+            offline = _stage2(workload, scale, duration, seed, params=params, announce=False)
+        summary["stage3"] = _stage3(workload, scale, duration, seed, offline)
+    return summary
+
+
+# ------------------------------------------------------------------- commands
+def cmd_list_scenarios(args: argparse.Namespace) -> int:
+    """Print the catalog as one line per entry."""
+    specs = list_scenarios()
+    print(f"{'name':<26} {'slices':>6} {'traffic':<22} {'SLA':<14} description")
+    for spec in specs:
+        primary = spec.primary
+        sla = _sla_label(primary) if not spec.is_multislice else "per-slice"
+        traffic = (
+            _traffic_label(primary)
+            if not spec.is_multislice
+            else "+".join(str(w.scenario.traffic) for w in spec.slices)
+        )
+        print(f"{spec.name:<26} {len(spec.slices):>6} {traffic:<22} {sla:<14} {spec.description}")
+    print(f"{len(specs)} scenarios registered")
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    """Print full detail of one catalog entry."""
+    spec = get_scenario(args.scenario)
+    print(f"{spec.name}: {spec.description}")
+    print(f"tags: {', '.join(spec.tags) or '-'}")
+    print(
+        f"stage-1 search defaults: alpha={spec.stage1_alpha}, "
+        f"distance threshold H={spec.stage1_distance_threshold}"
+    )
+    if spec.is_multislice:
+        budget = ", ".join(f"{dim}={spec.budget.total(dim):g}" for dim in CONTENDED_DIMENSIONS)
+        print(f"shared budget: {budget}")
+    for workload in spec.slices:
+        scenario = workload.scenario
+        print(f"\nslice {workload.name!r}: SLA {_sla_label(workload)}")
+        print(
+            f"  workload: traffic {_traffic_label(workload)}, "
+            f"frames {scenario.frame_size_mean_bytes / 1e3:.1f}±{scenario.frame_size_std_bytes / 1e3:.1f} kB up / "
+            f"{scenario.result_size_bytes / 1e3:.1f} kB down, "
+            f"compute {scenario.compute_time_mean_ms:.0f}±{scenario.compute_time_std_ms:.0f} ms"
+        )
+        config = workload.deployed_config
+        print(
+            f"  deployed: {config.bandwidth_ul:g}/{config.bandwidth_dl:g} PRBs, "
+            f"{config.backhaul_bw:g} Mbps backhaul, {config.cpu_ratio:g} CPU "
+            f"({100 * config.resource_usage():.1f}% usage)"
+        )
+        if workload.trace is not None:
+            preview = ", ".join(str(level) for level in workload.trace.levels(12))
+            print(f"  trace: {workload.trace!r} -> [{preview}, ...]")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run the requested stages of the pipeline on one catalog entry."""
+    spec = get_scenario(args.scenario)
+    scale = get_scale(args.scale)
+    duration = args.duration if args.duration is not None else scale.measurement_duration_s
+    stages = {"1", "2", "3"} if args.stage == "all" else {args.stage}
+    previous_executor = os.environ.get(EXECUTOR_ENV_VAR)
+    if args.executor is not None:
+        os.environ[EXECUTOR_ENV_VAR] = args.executor
+    try:
+        print(
+            f"scenario {spec.name!r} | stage {args.stage} | scale {scale.name} | "
+            f"executor {os.environ.get(EXECUTOR_ENV_VAR, 'serial')} | "
+            f"measurement duration {duration:g}s"
+        )
+        summary: dict = {
+            "scenario": spec.name,
+            "stage": args.stage,
+            "scale": scale.name,
+            "slices": [],
+        }
+        before = after = None
+        if spec.is_multislice:
+            real_network = spec.primary.make_real_network(seed=args.seed + 1)
+            before = real_network.measure_slices(
+                spec.slice_runs(seed=args.seed + 9000), budget=spec.budget, duration=duration
+            )
+            _print_multislice_round(before, "contended round (deployed configurations):")
+        for workload in spec.slices:
+            summary["slices"].append(
+                _run_workload(workload, spec, stages, scale, duration, seed=args.seed)
+            )
+        # An "optimised" contended round only makes sense when a stage that
+        # produces configurations actually ran; stage 1 alone learns
+        # simulation parameters, not allocations.
+        if spec.is_multislice and stages & {"2", "3"}:
+            learned_runs = []
+            for index, (workload, slice_summary) in enumerate(zip(spec.slices, summary["slices"])):
+                if "stage3" in slice_summary:
+                    config = slice_summary["stage3"]["_best_config"]
+                else:
+                    config = slice_summary["stage2"]["_policy"].best_config
+                learned_runs.append(
+                    SliceRun(
+                        name=workload.name,
+                        config=config,
+                        scenario=workload.scenario,
+                        sla=workload.sla,
+                        seed=args.seed + 9100 + index,
+                    )
+                )
+            real_network = spec.primary.make_real_network(seed=args.seed + 1)
+            after = real_network.measure_slices(
+                learned_runs, budget=spec.budget, duration=duration
+            )
+            _print_multislice_round(after, "contended round (optimised configurations):")
+        if args.json is not None:
+            payload = _jsonable(
+                {
+                    **summary,
+                    "multislice_before": before.summary() if before is not None else None,
+                    "multislice_after": after.summary() if after is not None else None,
+                }
+            )
+            with open(args.json, "w") as handle:
+                json.dump(payload, handle, indent=2)
+            print(f"\nwrote JSON summary to {args.json}")
+        print("\ndone")
+        return 0
+    finally:
+        if args.executor is not None:
+            if previous_executor is None:
+                os.environ.pop(EXECUTOR_ENV_VAR, None)
+            else:
+                os.environ[EXECUTOR_ENV_VAR] = previous_executor
+
+
+def _jsonable(value):
+    """Drop private keys and coerce numpy scalars so ``json.dump`` succeeds."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items() if not k.startswith("_")}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return value
+
+
+# --------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the Atlas reproduction pipeline on any scenario-catalog entry.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list-scenarios", help="list every registered catalog entry"
+    )
+    list_parser.set_defaults(handler=cmd_list_scenarios)
+
+    show_parser = subparsers.add_parser("show", help="show full detail of one catalog entry")
+    show_parser.add_argument("scenario", help="catalog entry name")
+    show_parser.set_defaults(handler=cmd_show)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run the pipeline stages on one catalog entry"
+    )
+    run_parser.add_argument("--scenario", required=True, help="catalog entry name")
+    run_parser.add_argument(
+        "--stage",
+        choices=("1", "2", "3", "all"),
+        default="all",
+        help="which Atlas stage(s) to run (default: all)",
+    )
+    run_parser.add_argument(
+        "--scale",
+        choices=tuple(sorted(SCALES)),
+        default=None,
+        help="iteration budgets and durations (default: the ATLAS_BENCH_SCALE env var, then 'small')",
+    )
+    run_parser.add_argument(
+        "--executor",
+        choices=tuple(sorted(EXECUTOR_KINDS)),
+        default=None,
+        help="measurement-engine executor (default: the ATLAS_ENGINE_EXECUTOR env var, then 'serial')",
+    )
+    run_parser.add_argument("--seed", type=int, default=0, help="base random seed (default: 0)")
+    run_parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="per-measurement duration in simulated seconds (default: the scale's duration)",
+    )
+    run_parser.add_argument("--json", default=None, help="write a JSON summary to this path")
+    run_parser.set_defaults(handler=cmd_run)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point: parse arguments and dispatch to the chosen subcommand."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except UnknownScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

@@ -56,6 +56,7 @@ class OfflineTrainingConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
+        """Validate field values after dataclass initialisation."""
         if self.iterations < 1:
             raise ValueError("iterations must be >= 1")
         if self.parallel_queries < 1:

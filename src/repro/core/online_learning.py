@@ -82,6 +82,7 @@ class OnlineLearningConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
+        """Validate field values after dataclass initialisation."""
         if self.iterations < 1:
             raise ValueError("iterations must be >= 1")
         if self.offline_queries_per_step < 0:
@@ -147,12 +148,14 @@ class _ResidualBNN:
         self._targets: list[float] = []
 
     def fit(self, inputs, targets) -> None:
+        """Fit the residual model on sim-to-real QoE differences."""
         self._inputs = [np.asarray(row, dtype=float) for row in np.atleast_2d(inputs)]
         self._targets = [float(v) for v in np.asarray(targets, dtype=float).ravel()]
         if len(self._targets) >= 2:
             self._model.fit(np.array(self._inputs), np.array(self._targets), epochs=40)
 
     def predict(self, inputs, return_std: bool = False):
+        """Predict the residual mean and standard deviation."""
         arr = np.atleast_2d(np.asarray(inputs, dtype=float))
         if not self._model.is_fitted:
             mean = np.zeros(len(arr))
@@ -164,10 +167,12 @@ class _ResidualBNN:
 class _ZeroResidual:
     """No residual model: the online estimate is the offline estimate alone."""
 
-    def fit(self, inputs, targets) -> None:  # noqa: D102 - intentional no-op
+    def fit(self, inputs, targets) -> None:
+        """No-op: the ablated residual model learns nothing."""
         return None
 
-    def predict(self, inputs, return_std: bool = False):  # noqa: D102
+    def predict(self, inputs, return_std: bool = False):
+        """Predict a zero residual (with zero uncertainty)."""
         arr = np.atleast_2d(np.asarray(inputs, dtype=float))
         mean = np.zeros(len(arr))
         return (mean, np.zeros(len(arr))) if return_std else mean

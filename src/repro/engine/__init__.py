@@ -3,8 +3,8 @@
 Every simulator / real-network query in the reproduction flows through
 :class:`~repro.engine.engine.MeasurementEngine`, which batches requests,
 executes them through pluggable serial/thread/process executors and memoises
-results in a content-keyed cache.  See ``README.md`` for the architecture
-overview (sim → engine → stages → experiments).
+results in a content-keyed cache.  See ``docs/architecture.md`` for the
+architecture walkthrough (sim → engine → stages → experiments).
 """
 
 from repro.engine.cache import CacheStats, MeasurementCache, shared_cache

@@ -86,15 +86,18 @@ class MeasurementCache:
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
+        """Validate field values after dataclass initialisation."""
         if self.max_entries is not None and self.max_entries < 1:
             raise ValueError("max_entries must be >= 1 (or None for unbounded)")
         self._entries: OrderedDict[tuple, "SimulationResult"] = OrderedDict()
         self._lock = Lock()
 
     def __len__(self) -> int:
+        """Number of cached results."""
         return len(self._entries)
 
     def __contains__(self, key: tuple) -> bool:
+        """Whether ``key`` has a cached result."""
         return key in self._entries
 
     def get(self, key: tuple) -> "SimulationResult | None":

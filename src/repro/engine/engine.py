@@ -209,12 +209,15 @@ class MeasurementEngine:
         self._executor.shutdown()
 
     def __enter__(self) -> "MeasurementEngine":
+        """Enter the context manager (returns the engine itself)."""
         return self
 
     def __exit__(self, *exc_info) -> None:
+        """Shut down the executor pools on context exit."""
         self.shutdown()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        """Compact description of the engine's execution setup."""
         return (
             f"MeasurementEngine(environment={type(self.environment).__name__}, "
             f"executor={self.executor_kind!r}, max_workers={self.max_workers}, "

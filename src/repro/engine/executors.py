@@ -32,6 +32,12 @@ __all__ = [
 ]
 
 #: Environment variable selecting the default executor of new engines.
+#: Recognised values are the keys of :data:`EXECUTOR_KINDS` (``serial``,
+#: ``thread``, ``process`` plus anything added via
+#: :func:`register_executor`); unset means ``serial``.  It is read each time
+#: an engine is constructed without an explicit ``executor`` argument, so it
+#: can be flipped mid-process (the CLI's ``--executor`` flag does exactly
+#: that around a run).
 EXECUTOR_ENV_VAR = "ATLAS_ENGINE_EXECUTOR"
 
 
@@ -46,9 +52,16 @@ def available_parallelism() -> int:
 def default_executor_kind() -> str:
     """Executor kind used when an engine is built without an explicit choice.
 
-    Defaults to ``serial`` (deterministic, zero overhead for the tiny
-    measurement budgets of the test suite); set ``ATLAS_ENGINE_EXECUTOR`` to
-    ``thread`` or ``process`` to parallelise every engine in the process.
+    Reads ``ATLAS_ENGINE_EXECUTOR`` (case-insensitive, surrounding
+    whitespace ignored) and defaults to ``serial`` — deterministic and
+    overhead-free for the tiny measurement budgets of the test suite.  Set
+    it to ``thread`` or ``process`` to parallelise every engine in the
+    process: ``process`` gives real multi-core speedups for the stages'
+    parallel queries (results stay byte-identical across kinds because every
+    request carries a resolved seed), while ``thread`` only helps for
+    GIL-releasing environments.  A value that names no registered executor
+    kind raises ``ValueError`` at engine construction rather than silently
+    falling back.
     """
     kind = os.environ.get(EXECUTOR_ENV_VAR, "serial").strip().lower()
     if kind not in EXECUTOR_KINDS:
@@ -69,6 +82,14 @@ def execute_one(environment: "Environment", request: "MeasurementRequest") -> "S
                 "simulation-parameter overrides (no with_params method)"
             )
         environment = with_params(request.params)
+    if request.scenario is not None:
+        with_scenario = getattr(environment, "with_scenario", None)
+        if with_scenario is None:
+            raise TypeError(
+                f"{type(environment).__name__} does not support per-request "
+                "scenario overrides (no with_scenario method)"
+            )
+        environment = with_scenario(request.scenario)
     return environment.run(
         request.config,
         traffic=request.traffic,

@@ -21,6 +21,11 @@ An environment may additionally implement two optional hooks:
     Return a copy of the environment under different simulation parameters;
     required only to execute requests carrying a ``params`` override (the
     stage-1 parameter search relies on this).
+
+``with_scenario(scenario)``
+    Return a copy of the environment under a different workload scenario;
+    required only to execute requests carrying a ``scenario`` override
+    (multi-slice rounds batch one request per slice this way).
 """
 
 from __future__ import annotations
@@ -32,10 +37,10 @@ import numpy as np
 
 from repro.sim.config import SliceConfig
 from repro.sim.parameters import SimulationParameters
+from repro.sim.scenario import Scenario
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.network import SimulationResult
-    from repro.sim.scenario import Scenario
 
 __all__ = ["Environment", "MeasurementRequest"]
 
@@ -50,7 +55,10 @@ class MeasurementRequest:
     never depend on scheduling order.  ``params`` optionally overrides the
     environment's simulation parameters for this request only (used by the
     stage-1 search, which evaluates many candidate parameterisations of one
-    base simulator in a single batch).
+    base simulator in a single batch).  ``scenario`` likewise overrides the
+    environment's workload for this request only — multi-slice rounds batch
+    one request per slice, each under its own scenario, against a single
+    environment (requires the environment to implement ``with_scenario``).
     """
 
     config: SliceConfig
@@ -58,6 +66,7 @@ class MeasurementRequest:
     duration: float | None = None
     seed: int | None = None
     params: SimulationParameters | None = None
+    scenario: Scenario | None = None
 
     def replace(self, **changes) -> "MeasurementRequest":
         """Return a copy with some fields replaced."""
@@ -65,7 +74,7 @@ class MeasurementRequest:
 
     def key(self) -> tuple:
         """Hashable identity of the request (all frozen dataclasses)."""
-        return (self.config, self.traffic, self.duration, self.seed, self.params)
+        return (self.config, self.traffic, self.duration, self.seed, self.params, self.scenario)
 
 
 @runtime_checkable

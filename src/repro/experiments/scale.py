@@ -6,6 +6,13 @@ clock even with multiprocessing.  The benchmark harness therefore runs the
 same code with smaller budgets by default; set ``ATLAS_BENCH_SCALE=paper``
 to reproduce the full-scale runs and ``ATLAS_BENCH_SCALE=smoke`` for the
 fastest possible sanity pass.
+
+The variable is read by :func:`get_scale` each time an experiment runner or
+benchmark asks for its budgets (there is no import-time caching), so one
+pytest session can only run at one scale but consecutive invocations can
+mix scales freely.  Every budget travels inside the returned frozen
+:class:`ExperimentScale`; nothing else in the library consults the
+environment variable.
 """
 
 from __future__ import annotations
@@ -112,7 +119,16 @@ SCALES: dict[str, ExperimentScale] = {
 
 
 def get_scale(name: str | None = None) -> ExperimentScale:
-    """Return the requested scale, or the one selected by ``ATLAS_BENCH_SCALE``."""
+    """Return the requested scale, or the one selected by ``ATLAS_BENCH_SCALE``.
+
+    ``name=None`` (the usual call from experiment runners, benchmarks and
+    the CLI) reads the ``ATLAS_BENCH_SCALE`` environment variable and falls
+    back to ``small`` when it is unset.  Recognised values — explicit or via
+    the variable, case-insensitive — are the :data:`SCALES` keys ``smoke``
+    (seconds, CI sanity pass), ``small`` (minutes, the default) and
+    ``paper`` (hours, the full-scale reproduction); anything else raises
+    ``ValueError`` naming the valid choices.
+    """
     if name is None:
         name = os.environ.get("ATLAS_BENCH_SCALE", "small")
     lowered = name.lower()

@@ -1,24 +1,31 @@
-"""Shared experiment setup: default SLA, deployed configuration and networks.
+"""Shared experiment setup: the catalog's paper workload as the default.
 
 Every evaluation experiment starts from the same prototype setup (Sec. 7):
-a single-user slice at 1 m UE–eNB distance running the frame-offloading
-application, an SLA of ``Y = 300 ms`` / ``E = 0.9``, and a mid-range deployed
-configuration used both for motivation measurements and for collecting the
-online dataset ``D_r``.
+the scenario catalog's ``frame-offloading`` entry — a single-user slice at
+1 m UE–eNB distance running the frame-offloading application, an SLA of
+``Y = 300 ms`` / ``E = 0.9``, and a mid-range deployed configuration used
+both for motivation measurements and for collecting the online dataset
+``D_r``.  The helpers below resolve that entry so the experiments and the
+``python -m repro`` CLI share one source of truth; point them at any other
+entry via :func:`repro.scenarios.get_scenario`.
 """
 
 from __future__ import annotations
+
+from dataclasses import replace
 
 import numpy as np
 
 from repro.engine import MeasurementEngine, MeasurementRequest
 from repro.prototype.slice_manager import SLA
 from repro.prototype.testbed import RealNetwork
+from repro.scenarios import get_scenario
 from repro.sim.config import SliceConfig
 from repro.sim.network import NetworkSimulator
 from repro.sim.scenario import Scenario
 
 __all__ = [
+    "default_workload",
     "default_sla",
     "default_scenario",
     "default_deployed_config",
@@ -28,31 +35,39 @@ __all__ = [
 ]
 
 
-def default_sla(threshold_ms: float = 300.0, availability: float = 0.9) -> SLA:
-    """The paper's default SLA: ``Y = 300 ms`` with availability ``E = 0.9``."""
-    return SLA(latency_threshold_ms=threshold_ms, availability=availability)
+def default_workload():
+    """The catalog workload every experiment defaults to (``frame-offloading``)."""
+    return get_scenario("frame-offloading").primary
+
+
+def default_sla(threshold_ms: float | None = None, availability: float | None = None) -> SLA:
+    """The paper's default SLA (``Y = 300 ms``, ``E = 0.9``), from the catalog.
+
+    Explicit arguments override the catalog values (the threshold/availability
+    sweeps of Figs. 18–19 and 25–26 rely on this).
+    """
+    sla = default_workload().sla
+    changes = {}
+    if threshold_ms is not None:
+        changes["latency_threshold_ms"] = threshold_ms
+    if availability is not None:
+        changes["availability"] = availability
+    return replace(sla, **changes) if changes else sla
 
 
 def default_scenario(traffic: int = 1, **overrides) -> Scenario:
-    """The prototype scenario: one slice user at 1 m from the eNB."""
-    return Scenario(traffic=traffic, **overrides)
+    """The prototype scenario (catalog entry), with optional field overrides."""
+    return default_workload().scenario.replace(traffic=traffic, **overrides)
 
 
 def default_deployed_config() -> SliceConfig:
     """The mid-range configuration deployed while collecting ``D_r``.
 
     The paper collects its online dataset by logging the performance of the
-    currently deployed method; a balanced configuration (10 UL / 5 DL PRBs,
-    10 Mbps backhaul, 0.8 CPU) plays that role here.
+    currently deployed method; the catalog's balanced configuration
+    (10 UL / 5 DL PRBs, 10 Mbps backhaul, 0.8 CPU) plays that role here.
     """
-    return SliceConfig(
-        bandwidth_ul=10.0,
-        bandwidth_dl=5.0,
-        mcs_offset_ul=0.0,
-        mcs_offset_dl=0.0,
-        backhaul_bw=10.0,
-        cpu_ratio=0.8,
-    )
+    return default_workload().deployed_config
 
 
 def make_simulator(seed: int = 0, traffic: int = 1, **scenario_overrides) -> NetworkSimulator:

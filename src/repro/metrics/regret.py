@@ -81,6 +81,7 @@ class RegretTracker:
         self.qoes.append(float(qoe))
 
     def __len__(self) -> int:
+        """Number of recorded iterations."""
         return len(self.usages)
 
     def set_optimum_from_best(self) -> None:

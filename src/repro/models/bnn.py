@@ -55,6 +55,7 @@ class _SampledNetwork:
         self._y_scaler = y_scaler
 
     def __call__(self, inputs) -> np.ndarray:
+        """Evaluate the sampled network on a batch of features."""
         x = np.atleast_2d(np.asarray(inputs, dtype=float))
         hidden = self._x_scaler.transform(x)
         last = len(self._weights) - 1

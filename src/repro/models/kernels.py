@@ -33,6 +33,7 @@ class Kernel:
     """Base class: kernels expose their log hyper-parameters as a flat vector."""
 
     def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+        """Evaluate the kernel matrix between two point sets."""
         raise NotImplementedError
 
     def diag(self, x: np.ndarray) -> np.ndarray:
@@ -40,9 +41,11 @@ class Kernel:
         return np.diag(self(x, x))
 
     def get_log_params(self) -> np.ndarray:
+        """The kernel's tunable log-parameters as a flat vector."""
         raise NotImplementedError
 
     def set_log_params(self, log_params: np.ndarray) -> None:
+        """Set the kernel's log-parameters from a flat vector."""
         raise NotImplementedError
 
     @property
@@ -55,9 +58,11 @@ class Kernel:
         return [(-6.0, 6.0)] * self.n_params
 
     def __add__(self, other: "Kernel") -> "SumKernel":
+        """The sum kernel of ``self`` and ``other``."""
         return SumKernel(self, other)
 
     def __mul__(self, other: "Kernel") -> "ProductKernel":
+        """The product kernel of ``self`` and ``other``."""
         return ProductKernel(self, other)
 
 
@@ -70,16 +75,20 @@ class RBFKernel(Kernel):
         self.length_scale = float(length_scale)
 
     def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+        """Evaluate the kernel matrix between two point sets."""
         sq = _pairwise_sq_dists(np.atleast_2d(x1), np.atleast_2d(x2))
         return np.exp(-0.5 * sq / self.length_scale**2)
 
     def diag(self, x: np.ndarray) -> np.ndarray:
+        """Diagonal of the kernel matrix of ``points``."""
         return np.ones(len(np.atleast_2d(x)))
 
     def get_log_params(self) -> np.ndarray:
+        """The kernel's tunable log-parameters as a flat vector."""
         return np.array([np.log(self.length_scale)])
 
     def set_log_params(self, log_params: np.ndarray) -> None:
+        """Set the kernel's log-parameters from a flat vector."""
         self.length_scale = float(np.exp(log_params[0]))
 
 
@@ -92,18 +101,22 @@ class Matern52Kernel(Kernel):
         self.length_scale = float(length_scale)
 
     def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+        """Evaluate the kernel matrix between two point sets."""
         sq = _pairwise_sq_dists(np.atleast_2d(x1), np.atleast_2d(x2))
         dist = np.sqrt(sq)
         scaled = np.sqrt(5.0) * dist / self.length_scale
         return (1.0 + scaled + scaled**2 / 3.0) * np.exp(-scaled)
 
     def diag(self, x: np.ndarray) -> np.ndarray:
+        """Diagonal of the kernel matrix of ``points``."""
         return np.ones(len(np.atleast_2d(x)))
 
     def get_log_params(self) -> np.ndarray:
+        """The kernel's tunable log-parameters as a flat vector."""
         return np.array([np.log(self.length_scale)])
 
     def set_log_params(self, log_params: np.ndarray) -> None:
+        """Set the kernel's log-parameters from a flat vector."""
         self.length_scale = float(np.exp(log_params[0]))
 
 
@@ -116,6 +129,7 @@ class WhiteKernel(Kernel):
         self.noise_level = float(noise_level)
 
     def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+        """Evaluate the kernel matrix between two point sets."""
         x1 = np.atleast_2d(x1)
         x2 = np.atleast_2d(x2)
         if x1.shape == x2.shape and np.array_equal(x1, x2):
@@ -123,15 +137,19 @@ class WhiteKernel(Kernel):
         return np.zeros((len(x1), len(x2)))
 
     def diag(self, x: np.ndarray) -> np.ndarray:
+        """Diagonal of the kernel matrix of ``points``."""
         return np.full(len(np.atleast_2d(x)), self.noise_level)
 
     def get_log_params(self) -> np.ndarray:
+        """The kernel's tunable log-parameters as a flat vector."""
         return np.array([np.log(self.noise_level)])
 
     def set_log_params(self, log_params: np.ndarray) -> None:
+        """Set the kernel's log-parameters from a flat vector."""
         self.noise_level = float(np.exp(log_params[0]))
 
     def bounds(self) -> list[tuple[float, float]]:
+        """Optimisation bounds of the log-parameters."""
         return [(-12.0, 2.0)]
 
 
@@ -144,15 +162,19 @@ class ConstantKernel(Kernel):
         self.constant = float(constant)
 
     def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+        """Evaluate the kernel matrix between two point sets."""
         return np.full((len(np.atleast_2d(x1)), len(np.atleast_2d(x2))), self.constant)
 
     def diag(self, x: np.ndarray) -> np.ndarray:
+        """Diagonal of the kernel matrix of ``points``."""
         return np.full(len(np.atleast_2d(x)), self.constant)
 
     def get_log_params(self) -> np.ndarray:
+        """The kernel's tunable log-parameters as a flat vector."""
         return np.array([np.log(self.constant)])
 
     def set_log_params(self, log_params: np.ndarray) -> None:
+        """Set the kernel's log-parameters from a flat vector."""
         self.constant = float(np.exp(log_params[0]))
 
 
@@ -164,14 +186,17 @@ class _CompositeKernel(Kernel):
         self.right = right
 
     def get_log_params(self) -> np.ndarray:
+        """The kernel's tunable log-parameters as a flat vector."""
         return np.concatenate([self.left.get_log_params(), self.right.get_log_params()])
 
     def set_log_params(self, log_params: np.ndarray) -> None:
+        """Set the kernel's log-parameters from a flat vector."""
         split = self.left.n_params
         self.left.set_log_params(np.asarray(log_params)[:split])
         self.right.set_log_params(np.asarray(log_params)[split:])
 
     def bounds(self) -> list[tuple[float, float]]:
+        """Optimisation bounds of the log-parameters."""
         return self.left.bounds() + self.right.bounds()
 
 
@@ -179,9 +204,11 @@ class SumKernel(_CompositeKernel):
     """Sum of two kernels."""
 
     def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+        """Evaluate the kernel matrix between two point sets."""
         return self.left(x1, x2) + self.right(x1, x2)
 
     def diag(self, x: np.ndarray) -> np.ndarray:
+        """Diagonal of the kernel matrix of ``points``."""
         return self.left.diag(x) + self.right.diag(x)
 
 
@@ -189,7 +216,9 @@ class ProductKernel(_CompositeKernel):
     """Element-wise product of two kernels."""
 
     def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+        """Evaluate the kernel matrix between two point sets."""
         return self.left(x1, x2) * self.right(x1, x2)
 
     def diag(self, x: np.ndarray) -> np.ndarray:
+        """Diagonal of the kernel matrix of ``points``."""
         return self.left.diag(x) * self.right.diag(x)

@@ -4,7 +4,9 @@ A slice tenant signs a service-level agreement specifying the latency
 threshold ``Y`` and the availability ``E`` (the minimum probability that the
 threshold is met, Eq. 6).  The slice manager admits/removes slices on the
 real network, attaches background users for the isolation experiment of
-Fig. 11, and measures the QoE of an admitted slice against its SLA.
+Fig. 11, and measures admitted slices against their SLAs — one at a time
+(:meth:`SliceManager.measure_slice`) or all concurrently under
+shared-resource contention (:meth:`SliceManager.measure_all`).
 """
 
 from __future__ import annotations
@@ -14,6 +16,8 @@ from dataclasses import dataclass, field
 from repro.metrics.qoe import qoe_from_latencies
 from repro.prototype.testbed import RealNetwork
 from repro.sim.config import SliceConfig
+from repro.sim.multislice import MultiSliceResult, ResourceBudget, SliceRun
+from repro.sim.scenario import Scenario
 
 __all__ = ["SLA", "NetworkSlice", "SliceManager"]
 
@@ -35,6 +39,7 @@ class SLA:
     availability: float = 0.9
 
     def __post_init__(self) -> None:
+        """Validate field values after dataclass initialisation."""
         if self.latency_threshold_ms <= 0:
             raise ValueError("latency_threshold_ms must be positive")
         if not 0.0 < self.availability <= 1.0:
@@ -47,12 +52,20 @@ class SLA:
 
 @dataclass
 class NetworkSlice:
-    """An admitted end-to-end slice: its SLA and current configuration."""
+    """An admitted end-to-end slice: its SLA and current configuration.
+
+    ``scenario`` optionally carries the slice's own workload description
+    (frame sizes, compute times...) so heterogeneous slices — e.g. the
+    catalog's eMBB/URLLC/mMTC classes — keep their physics when admitted on
+    one shared network; ``None`` falls back to the network's scenario
+    (the single-workload behaviour of the paper's prototype).
+    """
 
     name: str
     sla: SLA
     config: SliceConfig = field(default_factory=SliceConfig)
     traffic: int = 1
+    scenario: Scenario | None = None
 
     def qoe(self, latencies) -> float:
         """QoE of a latency collection against this slice's SLA threshold."""
@@ -115,10 +128,45 @@ class SliceManager:
         :class:`~repro.sim.network.SimulationResult`.
         """
         slice_ = self.get(name)
-        scenario = self.network.scenario.replace(
-            traffic=slice_.traffic, extra_users=self._background_users
-        )
+        scenario = self._slice_scenario(slice_)
         network = self.network.with_scenario(scenario)
         result = network.measure(slice_.config, duration=duration, seed=seed)
         qoe = result.qoe(slice_.sla.latency_threshold_ms)
         return result, qoe, slice_.sla.is_satisfied_by(qoe)
+
+    def measure_all(
+        self,
+        budget: ResourceBudget | None = None,
+        duration: float | None = None,
+        seed: int | None = None,
+        engine=None,
+    ) -> MultiSliceResult:
+        """Measure every admitted slice concurrently with resource contention.
+
+        Each slice contributes one :class:`~repro.sim.multislice.SliceRun`
+        under its own traffic (plus the currently attached background
+        users); the requested configurations are scaled onto ``budget`` and
+        all measurements dispatch as one
+        :class:`~repro.engine.engine.MeasurementEngine` batch — see
+        :meth:`repro.prototype.testbed.RealNetwork.measure_slices`.  Slices
+        are measured in admission order; per-slice seeds derive from ``seed``
+        when given so rounds are reproducible.
+        """
+        if not self._slices:
+            raise ValueError("no slices admitted; admit() at least one before measure_all()")
+        runs = [
+            SliceRun(
+                name=slice_.name,
+                config=slice_.config,
+                scenario=self._slice_scenario(slice_),
+                sla=slice_.sla,
+                seed=None if seed is None else seed + index,
+            )
+            for index, slice_ in enumerate(self._slices.values())
+        ]
+        return self.network.measure_slices(runs, budget=budget, duration=duration, engine=engine)
+
+    def _slice_scenario(self, slice_: NetworkSlice) -> Scenario:
+        """The measurement scenario: the slice's own (or the network's) workload, at its traffic, with current background users."""
+        base = slice_.scenario if slice_.scenario is not None else self.network.scenario
+        return base.replace(traffic=slice_.traffic, extra_users=self._background_users)

@@ -40,9 +40,11 @@ class OnlineCollection:
         return np.asarray(self._samples, dtype=float)
 
     def __len__(self) -> int:
+        """Number of latency samples collected."""
         return len(self._samples)
 
     def __bool__(self) -> bool:
+        """Whether any samples have been collected."""
         return bool(self._samples)
 
     # ------------------------------------------------------------ persistence
@@ -106,6 +108,7 @@ class PerformanceLog:
         return tuple(self._records)
 
     def __len__(self) -> int:
+        """Number of logged iteration records."""
         return len(self._records)
 
     def usages(self) -> np.ndarray:

@@ -27,6 +27,7 @@ import numpy as np
 from repro.prototype.domain_managers import EndToEndOrchestrator
 from repro.sim.config import SliceConfig
 from repro.sim.imperfections import Imperfections
+from repro.sim.multislice import MultiSliceResult, ResourceBudget, SliceRun, run_contended
 from repro.sim.network import NetworkSimulator, SimulationResult
 from repro.sim.parameters import SimulationParameters
 from repro.sim.scenario import Scenario
@@ -198,3 +199,22 @@ class RealNetwork:
     ) -> np.ndarray:
         """Measure and return only the latency collection (builds ``D_r``)."""
         return self.measure(config, traffic=traffic, duration=duration, seed=seed).latencies_ms
+
+    def measure_slices(
+        self,
+        runs: "list[SliceRun] | tuple[SliceRun, ...]",
+        budget: ResourceBudget | None = None,
+        duration: float | None = None,
+        engine=None,
+    ) -> MultiSliceResult:
+        """Measure several slices concurrently under shared-resource contention.
+
+        The testbed counterpart of
+        :meth:`repro.sim.network.NetworkSimulator.run_slices`: requested
+        configurations are scaled onto ``budget`` first, then every
+        contended configuration is routed through the domain managers (the
+        engine invokes :meth:`prepare_batch` in the calling process), so the
+        applied history records the quantised per-slice allocations and the
+        measurements dispatch as one engine batch.
+        """
+        return run_contended(self, runs, budget=budget, duration=duration, engine=engine)

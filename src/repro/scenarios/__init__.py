@@ -1,0 +1,47 @@
+"""Scenario catalog: named multi-slice workloads for every pipeline entry point.
+
+Importing this package registers the built-in catalog entries (the paper's
+frame-offloading slice, eMBB/URLLC/mMTC-style workload classes, dynamic
+traffic variants and the ``mixed-enterprise`` multi-slice contention
+scenario).  Look entries up with :func:`get_scenario` / enumerate them with
+:func:`list_scenarios`, or from the command line::
+
+    python -m repro list-scenarios
+    python -m repro run --scenario embb-video --stage all --scale smoke
+
+See ``docs/scenario-catalog.md`` for the full reference and how to register
+custom entries.
+"""
+
+from repro.scenarios.catalog import (
+    ScenarioSpec,
+    SliceWorkload,
+    UnknownScenarioError,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.traces import (
+    BurstyTrace,
+    ConstantTrace,
+    DiurnalTrace,
+    FlashCrowdTrace,
+    TrafficTrace,
+)
+from repro.scenarios import workloads as _workloads  # noqa: F401  (registers built-ins)
+
+__all__ = [
+    "BurstyTrace",
+    "ConstantTrace",
+    "DiurnalTrace",
+    "FlashCrowdTrace",
+    "ScenarioSpec",
+    "SliceWorkload",
+    "TrafficTrace",
+    "UnknownScenarioError",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "scenario_names",
+]

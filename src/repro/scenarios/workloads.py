@@ -1,0 +1,256 @@
+"""Built-in catalog entries: the paper's slice plus 5G-style workload classes.
+
+Eight entries register themselves on import:
+
+``frame-offloading``
+    The paper's prototype workload (Sec. 7): one user uploading 540p camera
+    frames for edge feature extraction under a 300 ms / 90% SLA.
+``embb-video``
+    eMBB-style video streaming: small uplink requests, large downlink
+    segments, throughput-bound.
+``urllc-control``
+    URLLC-style control traffic: tiny frames, millisecond compute and a
+    tight 100 ms / 95% SLA.
+``mmtc-telemetry``
+    mMTC-style telemetry: many aggregated sensor reports, tiny payloads,
+    a relaxed one-second SLA at 80% availability.
+``frame-offloading-diurnal``, ``embb-bursty``, ``flash-crowd``
+    Dynamic variants replaying diurnal / bursty / flash-crowd traffic traces
+    (Figs. 25–26 generalised beyond the constant-level sweep).
+``mixed-enterprise``
+    The multi-slice contention scenario: all four workload classes sharing
+    one constrained cell, transport link and edge host.
+
+Values are chosen to be *plausible for the simulator's latency model* (so
+every entry can actually meet its SLA with a sensible allocation), not
+measured from additional hardware; see ``docs/scenario-catalog.md`` for the
+derivations.
+"""
+
+from __future__ import annotations
+
+from repro.prototype.slice_manager import SLA
+from repro.scenarios.catalog import ScenarioSpec, SliceWorkload, register_scenario
+from repro.scenarios.traces import BurstyTrace, DiurnalTrace, FlashCrowdTrace
+from repro.sim.config import SliceConfig
+from repro.sim.multislice import ResourceBudget
+from repro.sim.scenario import Scenario
+
+__all__ = [
+    "FRAME_OFFLOADING",
+    "EMBB_VIDEO",
+    "URLLC_CONTROL",
+    "MMTC_TELEMETRY",
+    "FRAME_OFFLOADING_DIURNAL",
+    "EMBB_BURSTY",
+    "FLASH_CROWD",
+    "MIXED_ENTERPRISE",
+]
+
+
+def _frame_offloading_workload() -> SliceWorkload:
+    """The paper's frame-offloading slice at its prototype settings."""
+    return SliceWorkload(
+        name="frame-offloading",
+        scenario=Scenario(),  # the prototype defaults: 28.8 kB frames, 81 ms ORB compute
+        sla=SLA(latency_threshold_ms=300.0, availability=0.9),
+        deployed_config=SliceConfig(
+            bandwidth_ul=10.0,
+            bandwidth_dl=5.0,
+            mcs_offset_ul=0.0,
+            mcs_offset_dl=0.0,
+            backhaul_bw=10.0,
+            cpu_ratio=0.8,
+        ),
+    )
+
+
+def _embb_video_workload() -> SliceWorkload:
+    """eMBB-style streaming: large downlink segments dominate the latency."""
+    return SliceWorkload(
+        name="embb-video",
+        scenario=Scenario(
+            traffic=2,
+            frame_size_mean_bytes=2_000.0,     # uplink segment request
+            frame_size_std_bytes=400.0,
+            result_size_bytes=250_000.0,       # 250 kB downlink video segment
+            compute_time_mean_ms=12.0,         # server-side segment lookup/packaging
+            compute_time_std_ms=4.0,
+            base_loading_time_ms=5.0,
+        ),
+        sla=SLA(latency_threshold_ms=800.0, availability=0.9),
+        deployed_config=SliceConfig(
+            bandwidth_ul=8.0,
+            bandwidth_dl=30.0,
+            mcs_offset_ul=0.0,
+            mcs_offset_dl=0.0,
+            backhaul_bw=30.0,
+            cpu_ratio=0.3,
+        ),
+    )
+
+
+def _urllc_control_workload() -> SliceWorkload:
+    """URLLC-style control loop: tiny payloads under a tight tail SLA."""
+    return SliceWorkload(
+        name="urllc-control",
+        scenario=Scenario(
+            traffic=1,
+            frame_size_mean_bytes=200.0,       # sensor/actuator command
+            frame_size_std_bytes=40.0,
+            result_size_bytes=100.0,
+            compute_time_mean_ms=2.0,          # control-law evaluation
+            compute_time_std_ms=0.5,
+            base_loading_time_ms=1.0,
+        ),
+        # The testbed's hidden per-frame overheads and 3% latency spikes put a
+        # hard floor near 60 ms / 96%; 100 ms at 95% is tight but achievable.
+        sla=SLA(latency_threshold_ms=100.0, availability=0.95),
+        deployed_config=SliceConfig(
+            bandwidth_ul=15.0,
+            bandwidth_dl=10.0,
+            mcs_offset_ul=2.0,                 # robustness over throughput
+            mcs_offset_dl=2.0,
+            backhaul_bw=20.0,
+            cpu_ratio=0.5,
+        ),
+    )
+
+
+def _mmtc_telemetry_workload() -> SliceWorkload:
+    """mMTC-style telemetry: many aggregated reports, minimal allocations."""
+    return SliceWorkload(
+        name="mmtc-telemetry",
+        scenario=Scenario(
+            traffic=4,                         # aggregated device reports in flight
+            frame_size_mean_bytes=500.0,
+            frame_size_std_bytes=150.0,
+            result_size_bytes=100.0,
+            compute_time_mean_ms=5.0,          # ingest + rule evaluation
+            compute_time_std_ms=2.0,
+            base_loading_time_ms=10.0,
+        ),
+        sla=SLA(latency_threshold_ms=1000.0, availability=0.8),
+        deployed_config=SliceConfig(
+            bandwidth_ul=6.0,
+            bandwidth_dl=3.0,
+            mcs_offset_ul=0.0,
+            mcs_offset_dl=0.0,
+            backhaul_bw=2.0,
+            cpu_ratio=0.1,
+        ),
+    )
+
+
+FRAME_OFFLOADING = register_scenario(
+    ScenarioSpec(
+        name="frame-offloading",
+        description="The paper's slice: 540p frame offloading, 300 ms / 90% SLA",
+        slices=(_frame_offloading_workload(),),
+        tags=("paper", "video-analytics"),
+    )
+)
+
+EMBB_VIDEO = register_scenario(
+    ScenarioSpec(
+        name="embb-video",
+        description="eMBB video streaming: 250 kB downlink segments, 800 ms / 90% SLA",
+        slices=(_embb_video_workload(),),
+        tags=("embb", "streaming"),
+    )
+)
+
+URLLC_CONTROL = register_scenario(
+    ScenarioSpec(
+        name="urllc-control",
+        description="URLLC control traffic: 200 B commands, 100 ms / 95% SLA",
+        slices=(_urllc_control_workload(),),
+        # Tight SLAs tolerate less sim-to-real drift: weight explainability higher.
+        stage1_alpha=10.0,
+        stage1_distance_threshold=0.2,
+        tags=("urllc", "control"),
+    )
+)
+
+MMTC_TELEMETRY = register_scenario(
+    ScenarioSpec(
+        name="mmtc-telemetry",
+        description="mMTC telemetry: aggregated sensor reports, 1 s / 80% SLA",
+        slices=(_mmtc_telemetry_workload(),),
+        tags=("mmtc", "telemetry"),
+    )
+)
+
+FRAME_OFFLOADING_DIURNAL = register_scenario(
+    ScenarioSpec(
+        name="frame-offloading-diurnal",
+        description="Frame offloading under a diurnal 1-4 user load curve",
+        slices=(
+            SliceWorkload(
+                name="frame-offloading",
+                scenario=_frame_offloading_workload().scenario,
+                sla=SLA(latency_threshold_ms=500.0, availability=0.9),  # Figs. 25-26 threshold
+                deployed_config=_frame_offloading_workload().deployed_config,
+                trace=DiurnalTrace(low=1, high=4, period=12),
+            ),
+        ),
+        tags=("paper", "dynamic", "diurnal"),
+    )
+)
+
+EMBB_BURSTY = register_scenario(
+    ScenarioSpec(
+        name="embb-bursty",
+        description="eMBB streaming with periodic 1→3 stream bursts",
+        slices=(
+            SliceWorkload(
+                name="embb-video",
+                scenario=_embb_video_workload().scenario.replace(traffic=1),
+                sla=_embb_video_workload().sla,
+                deployed_config=_embb_video_workload().deployed_config,
+                trace=BurstyTrace(base=1, burst=3, quiet_steps=4, burst_steps=2),
+            ),
+        ),
+        tags=("embb", "dynamic", "bursty"),
+    )
+)
+
+FLASH_CROWD = register_scenario(
+    ScenarioSpec(
+        name="flash-crowd",
+        description="Frame offloading hit by a sudden sustained 4-user spike",
+        slices=(
+            SliceWorkload(
+                name="frame-offloading",
+                scenario=_frame_offloading_workload().scenario,
+                sla=SLA(latency_threshold_ms=500.0, availability=0.9),
+                deployed_config=_frame_offloading_workload().deployed_config,
+                trace=FlashCrowdTrace(base=1, peak=4, spike_start=4, spike_steps=3),
+            ),
+        ),
+        tags=("paper", "dynamic", "flash-crowd"),
+    )
+)
+
+MIXED_ENTERPRISE = register_scenario(
+    ScenarioSpec(
+        name="mixed-enterprise",
+        description="Multi-slice contention: eMBB + URLLC + mMTC + frame offloading on one constrained cell",
+        slices=(
+            _frame_offloading_workload(),
+            _embb_video_workload(),
+            _urllc_control_workload(),
+            _mmtc_telemetry_workload(),
+        ),
+        # A constrained enterprise small cell: half a carrier's PRBs, a thin
+        # transport link and a single edge core, so the four deployed
+        # configurations genuinely oversubscribe every shared dimension.
+        budget=ResourceBudget(
+            bandwidth_ul=25.0,
+            bandwidth_dl=25.0,
+            backhaul_bw=30.0,
+            cpu_ratio=1.0,
+        ),
+        tags=("multi-slice", "contention"),
+    )
+)

@@ -66,6 +66,7 @@ class SliceConfig:
     cpu_ratio: float = 0.5
 
     def __post_init__(self) -> None:
+        """Validate field values after dataclass initialisation."""
         for name in CONFIG_NAMES:
             lo, hi = CONFIG_BOUNDS[name]
             value = getattr(self, name)

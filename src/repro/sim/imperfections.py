@@ -53,6 +53,7 @@ class Imperfections:
     per_traffic_overhead_ms: float = 0.0
 
     def __post_init__(self) -> None:
+        """Validate field values after dataclass initialisation."""
         if self.fading_std_db < 0:
             raise ValueError("fading_std_db must be non-negative")
         if not 0.0 <= self.deep_fade_probability <= 1.0:

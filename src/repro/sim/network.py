@@ -21,6 +21,7 @@ from repro.sim.events import EventScheduler
 from repro.sim.imperfections import Imperfections
 from repro.sim.application import OffloadingApplication
 from repro.sim.parameters import SimulationParameters
+from repro.sim.multislice import MultiSliceResult, ResourceBudget, SliceRun, run_contended
 from repro.sim.ran import RadioAccessNetwork
 from repro.sim.scenario import Scenario
 from repro.sim.transport import BackhaulLink, BASE_PROPAGATION_DELAY_MS
@@ -193,6 +194,41 @@ class NetworkSimulator:
     ) -> np.ndarray:
         """Convenience wrapper returning only the latency collection."""
         return self.run(config, traffic=traffic, duration=duration, seed=seed).latencies_ms
+
+    # ------------------------------------------------------------- multi-slice
+    def run_slices(
+        self,
+        runs: "list[SliceRun] | tuple[SliceRun, ...]",
+        budget: ResourceBudget | None = None,
+        duration: float | None = None,
+        engine=None,
+    ) -> MultiSliceResult:
+        """Measure several slices concurrently under shared-resource contention.
+
+        The requested configurations are first resolved against ``budget``
+        (proportional fair sharing, see
+        :func:`repro.sim.multislice.resolve_contention`), then every slice is
+        measured under its own scenario as one
+        :class:`~repro.engine.engine.MeasurementEngine` batch — so
+        multi-slice rounds parallelise across executor workers and hit the
+        result cache exactly like single-slice measurements.
+
+        Parameters
+        ----------
+        runs:
+            One :class:`~repro.sim.multislice.SliceRun` per slice (name,
+            requested config, scenario, optional SLA and seed).
+        budget:
+            Shared physical totals; defaults to one 10 MHz carrier, 100 Mbps
+            transport and a dual-core edge host.
+        duration:
+            Measurement duration override (defaults to each slice scenario's
+            ``duration_s``).
+        engine:
+            Engine to batch through; must wrap this environment.  A private
+            serial engine is created when omitted.
+        """
+        return run_contended(self, runs, budget=budget, duration=duration, engine=engine)
 
     # ------------------------------------------------------------------- ping
     def _ping_delay_ms(

@@ -71,6 +71,7 @@ class SimulationParameters:
     loading_time: float = 0.0
 
     def __post_init__(self) -> None:
+        """Validate field values after dataclass initialisation."""
         for name in PARAMETER_NAMES:
             lo, hi = PARAMETER_BOUNDS[name]
             value = getattr(self, name)
@@ -119,7 +120,7 @@ class SimulationParameters:
         return SimulationParameters(**current)
 
     def distance_to(self, other: "SimulationParameters", normalized: bool = True) -> float:
-        """l2 parameter distance ``|x - x_hat|_2`` (Eq. 2).
+        """The l2 parameter distance ``|x - x_hat|_2`` (Eq. 2).
 
         With ``normalized=True`` (the default used by the search), every
         dimension is first scaled by its feasible range so heterogeneous

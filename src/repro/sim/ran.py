@@ -39,7 +39,7 @@ _ARQ_RECOVERY_MS = 40.0
 
 
 class RadioAccessNetwork:
-    """eNB + UE radio model for one slice.
+    """The eNB + UE radio model for one slice.
 
     Parameters
     ----------

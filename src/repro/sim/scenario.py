@@ -1,5 +1,4 @@
-"""Scenario description: everything about the environment that is *not* a
-configuration action or a searchable simulation parameter.
+"""Scenario description: the environment beyond actions and simulation parameters.
 
 A scenario captures the network state ``s_t`` of the paper (user traffic,
 user position/mobility, number of extra background users) together with the
@@ -62,6 +61,7 @@ class Scenario:
     duration_s: float = 60.0
 
     def __post_init__(self) -> None:
+        """Validate field values after dataclass initialisation."""
         if self.traffic < 1:
             raise ValueError(f"traffic must be >= 1, got {self.traffic}")
         if self.distance_m <= 0:

@@ -1,0 +1,157 @@
+"""The ``python -m repro`` command line: listing, showing and running scenarios.
+
+Pipeline runs use the smoke scale with an aggressively short ``--duration``
+so the whole module stays cheap; the full smoke-scale acceptance runs live
+in CI and the examples.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.scenarios import scenario_names
+
+
+def run_cli(capsys, *argv: str) -> tuple[int, str]:
+    """Invoke the CLI in-process and return (exit code, stdout)."""
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestListAndShow:
+    def test_list_scenarios_shows_every_entry(self, capsys):
+        code, out = run_cli(capsys, "list-scenarios")
+        assert code == 0
+        for name in scenario_names():
+            assert name in out
+        assert f"{len(scenario_names())} scenarios registered" in out
+
+    def test_list_scenarios_has_at_least_six_entries(self, capsys):
+        _, out = run_cli(capsys, "list-scenarios")
+        count = int(out.strip().splitlines()[-1].split()[0])
+        assert count >= 6
+
+    def test_show_single_slice_entry(self, capsys):
+        code, out = run_cli(capsys, "show", "urllc-control")
+        assert code == 0
+        assert "100ms @ 95%" in out
+        assert "deployed:" in out
+
+    def test_show_multislice_entry_prints_budget_and_slices(self, capsys):
+        code, out = run_cli(capsys, "show", "mixed-enterprise")
+        assert code == 0
+        assert "shared budget" in out
+        for slice_name in ("frame-offloading", "embb-video", "urllc-control", "mmtc-telemetry"):
+            assert slice_name in out
+
+    def test_show_dynamic_entry_prints_trace(self, capsys):
+        _, out = run_cli(capsys, "show", "frame-offloading-diurnal")
+        assert "trace:" in out and "DiurnalTrace" in out
+
+    def test_unknown_scenario_exits_2_with_message(self, capsys):
+        code = main(["show", "not-a-scenario"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown scenario" in captured.err
+        assert "frame-offloading" in captured.err  # lists what IS available
+
+    def test_parser_rejects_bad_stage(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scenario", "embb-video", "--stage", "4"])
+
+
+class TestRun:
+    def test_run_stage2_single_slice(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "run",
+            "--scenario",
+            "embb-video",
+            "--stage",
+            "2",
+            "--scale",
+            "smoke",
+            "--duration",
+            "2.0",
+        )
+        assert code == 0
+        assert "stage 2: best offline config" in out
+        assert "done" in out
+
+    def test_run_stage3_trains_prerequisite_policy(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "run",
+            "--scenario",
+            "frame-offloading-diurnal",
+            "--stage",
+            "3",
+            "--scale",
+            "smoke",
+            "--duration",
+            "2.0",
+        )
+        assert code == 0
+        assert "prerequisite offline policy" in out
+        # The diurnal trace spans several traffic levels within the smoke
+        # budget, so online learning must have segmented.
+        assert "traffic segment(s)" in out
+
+    def test_run_multislice_prints_contended_rounds(self, capsys, tmp_path):
+        json_path = tmp_path / "summary.json"
+        code, out = run_cli(
+            capsys,
+            "run",
+            "--scenario",
+            "mixed-enterprise",
+            "--stage",
+            "2",
+            "--scale",
+            "smoke",
+            "--duration",
+            "2.0",
+            "--json",
+            str(json_path),
+        )
+        assert code == 0
+        assert "contended round (deployed configurations):" in out
+        assert "contended round (optimised configurations):" in out
+        assert "allocated totals:" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["scenario"] == "mixed-enterprise"
+        assert len(payload["slices"]) == 4
+        assert payload["multislice_before"] is not None
+        assert payload["multislice_after"] is not None
+        # Private (underscore) keys carrying live objects never reach JSON.
+        assert "_policy" not in json.dumps(payload)
+
+    def test_run_unknown_scenario_exits_2(self, capsys):
+        code = main(["run", "--scenario", "nope", "--stage", "1", "--scale", "smoke"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown scenario" in captured.err
+
+    def test_run_executor_flag_restores_environment(self, capsys, monkeypatch):
+        import os
+
+        monkeypatch.delenv("ATLAS_ENGINE_EXECUTOR", raising=False)
+        code, _ = run_cli(
+            capsys,
+            "run",
+            "--scenario",
+            "urllc-control",
+            "--stage",
+            "2",
+            "--scale",
+            "smoke",
+            "--duration",
+            "2.0",
+            "--executor",
+            "thread",
+        )
+        assert code == 0
+        assert "ATLAS_ENGINE_EXECUTOR" not in os.environ
