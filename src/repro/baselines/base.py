@@ -1,8 +1,10 @@
-"""Shared result containers for the baseline learners.
+"""Shared result containers and bookkeeping for the baseline learners.
 
 All baselines record the same per-iteration quantities as Atlas' online
 stage so that Figs. 20–21, Table 5 and the dynamic-traffic experiments can
-compare them uniformly.
+compare them uniformly.  :class:`GPBaselineBookkeeping` additionally shares
+the measure-and-fold machinery of the GP-surrogate learners (GP-BO and
+VirtualEdge) so their per-iteration semantics cannot drift apart.
 """
 
 from __future__ import annotations
@@ -14,7 +16,7 @@ import numpy as np
 from repro.metrics.regret import RegretTracker
 from repro.sim.config import SliceConfig
 
-__all__ = ["BaselineIterationRecord", "BaselineResult"]
+__all__ = ["BaselineIterationRecord", "BaselineResult", "GPBaselineBookkeeping"]
 
 
 @dataclass(frozen=True)
@@ -68,3 +70,57 @@ class BaselineResult:
         if not self.history:
             return 0.0
         return float(np.mean([not r.sla_met for r in self.history]))
+
+
+class GPBaselineBookkeeping:
+    """Shared measure-and-fold machinery of the GP-surrogate baselines.
+
+    Mixed into :class:`~repro.baselines.gp_bo.GPConfigurationOptimizer` and
+    :class:`~repro.baselines.virtualedge.VirtualEdge`, which both maintain a
+    GP over observed QoEs, an adaptive Lagrangian multiplier and the common
+    iteration history.  The host class provides ``engine``, ``traffic``,
+    ``space``, ``sla``, ``multiplier``, ``_model``, ``_inputs``, ``_qoes``
+    and a ``config`` with ``measurement_duration_s``.
+    """
+
+    def _measure_warmup(self, actions: "list[SliceConfig]") -> list:
+        """Measure the result-independent warm-up ``actions`` as one engine batch.
+
+        Actions are measured with ``seed=iteration`` (1-based), exactly like
+        the sequential per-iteration path, so batching changes throughput
+        but not a single result.
+        """
+        from repro.engine import MeasurementRequest
+
+        return self.engine.run_batch(
+            [
+                MeasurementRequest(
+                    config=action,
+                    traffic=self.traffic,
+                    duration=self.config.measurement_duration_s,
+                    seed=iteration,
+                )
+                for iteration, action in enumerate(actions, start=1)
+            ]
+        )
+
+    def _record(
+        self, result: BaselineResult, iteration: int, action: SliceConfig, qoe: float
+    ) -> None:
+        """Fold one measured ``(action, qoe)`` into model, multiplier and history."""
+        usage = action.resource_usage()
+        self._inputs.append(self.space.normalize(action.to_array())[0])
+        self._qoes.append(qoe)
+        if len(self._qoes) >= 3:
+            self._model.fit(np.array(self._inputs), np.array(self._qoes))
+        self.multiplier.update(qoe, self.sla.availability)
+        result.regret.record(usage, qoe)
+        result.history.append(
+            BaselineIterationRecord(
+                iteration=iteration,
+                config=tuple(action.to_array()),
+                resource_usage=usage,
+                qoe=qoe,
+                sla_met=self.sla.is_satisfied_by(qoe),
+            )
+        )

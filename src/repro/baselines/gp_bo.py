@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.baselines.base import BaselineIterationRecord, BaselineResult
+from repro.baselines.base import BaselineResult, GPBaselineBookkeeping
 from repro.core.acquisition import (
     expected_improvement,
     gp_ucb_beta,
@@ -54,7 +54,7 @@ class GPOptimizerConfig:
             raise ValueError(f"unknown acquisition {self.acquisition!r}")
 
 
-class GPConfigurationOptimizer:
+class GPConfigurationOptimizer(GPBaselineBookkeeping):
     """GP + classic-acquisition Bayesian optimisation of the slice configuration.
 
     Parameters
@@ -131,29 +131,31 @@ class GPConfigurationOptimizer:
 
     # --------------------------------------------------------------------- run
     def run(self) -> BaselineResult:
-        """Execute the optimisation and return its history and regrets."""
+        """Execute the optimisation and return its history and regrets.
+
+        The warm-up prefix (the ``initial_random`` iterations, whose actions
+        depend only on the RNG — never on earlier measurements) is submitted
+        as *one* engine batch, so the random exploration fans out across
+        executor workers (or one vectorized pass) while staying
+        result-identical to the sequential loop: actions are selected in the
+        same RNG order, measured with the same per-iteration seeds, and the
+        model/multiplier bookkeeping is replayed in iteration order.  The
+        model-guided iterations that follow are inherently sequential (each
+        selection conditions on all earlier measurements).
+        """
         acquisition_name = {"ei": "GP-EI", "pi": "GP-PI", "ucb": "GP-UCB"}[self.config.acquisition]
         result = BaselineResult(
             method=acquisition_name,
             regret=RegretTracker(qoe_requirement=self.sla.availability),
         )
-        for iteration in range(1, self.config.iterations + 1):
+        warm_iterations = min(self.config.initial_random, self.config.iterations)
+        warm_actions = [self._select_action(iteration) for iteration in range(1, warm_iterations + 1)]
+        measurements = self._measure_warmup(warm_actions)
+        for iteration, (action, measurement) in enumerate(zip(warm_actions, measurements), start=1):
+            self._record(result, iteration, action, measurement.qoe(self.sla.latency_threshold_ms))
+        for iteration in range(warm_iterations + 1, self.config.iterations + 1):
             action = self._select_action(iteration)
-            usage, qoe = self._evaluate(action, seed=iteration)
-            self._inputs.append(self.space.normalize(action.to_array())[0])
-            self._qoes.append(qoe)
-            if len(self._qoes) >= 3:
-                self._model.fit(np.array(self._inputs), np.array(self._qoes))
-            self.multiplier.update(qoe, self.sla.availability)
-            result.regret.record(usage, qoe)
-            result.history.append(
-                BaselineIterationRecord(
-                    iteration=iteration,
-                    config=tuple(action.to_array()),
-                    resource_usage=usage,
-                    qoe=qoe,
-                    sla_met=self.sla.is_satisfied_by(qoe),
-                )
-            )
+            _, qoe = self._evaluate(action, seed=iteration)
+            self._record(result, iteration, action, qoe)
         result.regret.set_optimum_from_best()
         return result

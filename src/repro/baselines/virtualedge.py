@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.baselines.base import BaselineIterationRecord, BaselineResult
+from repro.baselines.base import BaselineResult, GPBaselineBookkeeping
 from repro.core.penalty import AdaptiveMultiplier
 from repro.core.spaces import ConfigurationSpace
 from repro.engine import MeasurementEngine
@@ -49,7 +49,7 @@ class VirtualEdgeConfig:
             raise ValueError("step_size and probe must be positive")
 
 
-class VirtualEdge:
+class VirtualEdge(GPBaselineBookkeeping):
     """GP-based predictive gradient descent on the slice configuration."""
 
     def __init__(
@@ -109,7 +109,17 @@ class VirtualEdge:
 
     # --------------------------------------------------------------------- run
     def run(self) -> BaselineResult:
-        """Execute the online orchestration and return its history and regrets."""
+        """Execute the online orchestration and return its history and regrets.
+
+        The random-exploration prefix (iterations ``1..initial_random``,
+        whose probe points depend only on the RNG) is submitted as one
+        engine batch — fanning out across executor workers or one vectorized
+        pass — and its model/multiplier bookkeeping replayed in iteration
+        order, which is result-identical to the sequential loop.  The
+        predictive gradient-descent iterations that follow remain
+        sequential: each step conditions on the GP fitted to all earlier
+        measurements.
+        """
         result = BaselineResult(
             method="VirtualEdge", regret=RegretTracker(qoe_requirement=self.sla.availability)
         )
@@ -118,28 +128,21 @@ class VirtualEdge:
         else:
             current_unit = np.full(self.space.dim, 0.5)
 
-        for iteration in range(1, self.config.iterations + 1):
+        warm_iterations = min(max(self.config.initial_random, 1), self.config.iterations)
+        warm_actions: list[SliceConfig] = []
+        for iteration in range(1, warm_iterations + 1):
             if 1 < iteration <= self.config.initial_random:
                 current_unit = self._rng.uniform(0.0, 1.0, size=self.space.dim)
-            elif iteration > self.config.initial_random and len(self._qoes) >= 3:
-                current_unit = self._gradient_step(current_unit)
+            warm_actions.append(self.space.to_config(self.space.denormalize(current_unit)[0]))
+        measurements = self._measure_warmup(warm_actions)
+        for iteration, (action, measurement) in enumerate(zip(warm_actions, measurements), start=1):
+            self._record(result, iteration, action, measurement.qoe(self.sla.latency_threshold_ms))
 
+        for iteration in range(warm_iterations + 1, self.config.iterations + 1):
+            if iteration > self.config.initial_random and len(self._qoes) >= 3:
+                current_unit = self._gradient_step(current_unit)
             action = self.space.to_config(self.space.denormalize(current_unit)[0])
-            usage, qoe = self._evaluate(action, seed=iteration)
-            self._inputs.append(self.space.normalize(action.to_array())[0])
-            self._qoes.append(qoe)
-            if len(self._qoes) >= 3:
-                self._model.fit(np.array(self._inputs), np.array(self._qoes))
-            self.multiplier.update(qoe, self.sla.availability)
-            result.regret.record(usage, qoe)
-            result.history.append(
-                BaselineIterationRecord(
-                    iteration=iteration,
-                    config=tuple(action.to_array()),
-                    resource_usage=usage,
-                    qoe=qoe,
-                    sla_met=self.sla.is_satisfied_by(qoe),
-                )
-            )
+            _, qoe = self._evaluate(action, seed=iteration)
+            self._record(result, iteration, action, qoe)
         result.regret.set_optimum_from_best()
         return result

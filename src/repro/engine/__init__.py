@@ -2,9 +2,10 @@
 
 Every simulator / real-network query in the reproduction flows through
 :class:`~repro.engine.engine.MeasurementEngine`, which batches requests,
-executes them through pluggable serial/thread/process executors and memoises
-results in a content-keyed cache.  See ``docs/architecture.md`` for the
-architecture walkthrough (sim → engine → stages → experiments).
+executes them through pluggable serial/thread/process/vectorized executors
+and memoises results in a content-keyed cache.  See ``docs/architecture.md``
+for the architecture walkthrough (sim → engine → stages → experiments) and
+``docs/performance.md`` for the executor selection guide.
 """
 
 from repro.engine.cache import CacheStats, MeasurementCache, shared_cache

@@ -2,9 +2,11 @@
 
 Results are keyed on the full content of a query — environment fingerprint
 (simulation parameters, scenario, imperfections, base seed, isolation) plus
-the request (config, traffic, duration, per-run seed, parameter override) —
-so a cached entry is, by construction, byte-identical to what re-running the
-measurement would produce.  Sweep experiments that revisit identical queries
+the request (config, traffic, duration, per-run seed, parameter override)
+plus the executor's numerics family (scalar kinds share entries; the
+vectorized kind has its own) — so a cached entry is, by construction,
+byte-identical to what re-running the measurement through the same family
+would produce.  Sweep experiments that revisit identical queries
 (the Fig. 15 heatmap grid, the Fig. 18/19 availability and threshold sweeps
 re-collecting the same DLDA grid) therefore get them for free.
 

@@ -4,15 +4,17 @@
 consumer (stages 1–3, the baselines and the experiment runners) submits its
 measurements through.  It accepts batches of
 :class:`~repro.engine.protocol.MeasurementRequest`, executes them through a
-pluggable executor (``serial``, ``thread`` or ``process``) and memoises the
-results in a content-keyed cache.
+pluggable executor (``serial``, ``thread``, ``process`` or ``vectorized``)
+and memoises the results in a content-keyed cache.
 
 Determinism
     ``seed=None`` requests are resolved from a per-engine
     :class:`numpy.random.SeedSequence` stream *before* dispatch, so the same
-    batch produces byte-identical results under every executor kind and the
-    racy run-counter idiom the simulator previously used never crosses a
-    process boundary.
+    batch produces byte-identical results under every scalar executor kind
+    (``vectorized`` results are per-request reproducible too, but follow the
+    batch path's own statistically-equivalent numerics — see
+    :mod:`repro.sim.batch`) and the racy run-counter idiom the simulator
+    previously used never crosses a process boundary.
 
 Side effects
     Environments that mutate state per measurement (the real network logs
@@ -54,9 +56,12 @@ class MeasurementEngine:
         Any :class:`~repro.engine.protocol.Environment` (the simulator or the
         real network).
     executor:
-        ``"serial"`` (default), ``"thread"`` or ``"process"``; ``None`` picks
-        the kind selected by the ``ATLAS_ENGINE_EXECUTOR`` environment
-        variable.  Custom kinds can be registered via
+        ``"serial"`` (default), ``"thread"``, ``"process"`` or
+        ``"vectorized"``; ``None`` picks the kind selected by the
+        ``ATLAS_ENGINE_EXECUTOR`` environment variable.  ``vectorized``
+        collapses each batch into one NumPy pass over the environment's
+        ``run_requests`` hook instead of spreading scalar runs across
+        workers.  Custom kinds can be registered via
         :func:`repro.engine.executors.register_executor`.
     max_workers:
         Parallel workers of the thread/process executors.  Defaults to the
@@ -120,7 +125,13 @@ class MeasurementEngine:
             self._cache.clear()
 
     def _cache_key(self, environment: Environment, request: MeasurementRequest) -> tuple:
-        return (environment.fingerprint(), request.key())
+        # Keys carry the executor's numerics family: the scalar kinds
+        # (serial/thread/process) are byte-identical and share entries, but
+        # the vectorized kind's statistically-equivalent results must never
+        # be served to a scalar engine (or vice versa) through the
+        # process-wide shared cache.
+        numerics = getattr(self._executor, "numerics", "scalar")
+        return (environment.fingerprint(), request.key(), numerics)
 
     # ----------------------------------------------------------------- seeding
     def _next_auto_seed(self) -> int:

@@ -1,4 +1,4 @@
-"""Pluggable request executors: serial, thread and process.
+"""Pluggable request executors: serial, thread, process and vectorized.
 
 The process executor follows the loky/``concurrent.futures`` idiom the paper
 relies on for its multiprocessing: requests are split into contiguous chunks
@@ -6,7 +6,14 @@ relies on for its multiprocessing: requests are split into contiguous chunks
 once per request, and results are returned in submission order.  Every
 request carries an explicit seed by the time it reaches an executor (the
 engine resolves ``seed=None`` beforehand), so execution is embarrassingly
-parallel and byte-identical across executor kinds.
+parallel and byte-identical across the serial/thread/process kinds.
+
+The vectorized executor takes the orthogonal route: instead of spreading N
+slow scalar runs across workers it hands the whole batch to the
+environment's NumPy batch path (``run_requests``), which makes the work
+itself fast — typically well past the multi-core speedup of the process
+pool, on a single core.  Its results are statistically equivalent to (not
+byte-identical with) the scalar kinds; see :mod:`repro.sim.batch`.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "VectorizedExecutor",
     "EXECUTOR_KINDS",
 ]
 
@@ -57,11 +65,14 @@ def default_executor_kind() -> str:
     overhead-free for the tiny measurement budgets of the test suite.  Set
     it to ``thread`` or ``process`` to parallelise every engine in the
     process: ``process`` gives real multi-core speedups for the stages'
-    parallel queries (results stay byte-identical across kinds because every
-    request carries a resolved seed), while ``thread`` only helps for
-    GIL-releasing environments.  A value that names no registered executor
-    kind raises ``ValueError`` at engine construction rather than silently
-    falling back.
+    parallel queries (results stay byte-identical across those kinds
+    because every request carries a resolved seed), while ``thread`` only
+    helps for GIL-releasing environments.  ``vectorized`` instead collapses
+    each batch into one NumPy pass over the simulator — the fastest option
+    for simulator-backed engines, statistically equivalent to (not
+    byte-identical with) the scalar kinds.  A value that names no
+    registered executor kind raises ``ValueError`` at engine construction
+    rather than silently falling back.
     """
     kind = os.environ.get(EXECUTOR_ENV_VAR, "serial").strip().lower()
     if kind not in EXECUTOR_KINDS:
@@ -120,6 +131,9 @@ class SerialExecutor:
     """Run every request in the calling thread (the deterministic default)."""
 
     kind = "serial"
+    #: Result family for cache keying: all scalar kinds are byte-identical
+    #: and may share cache entries; the vectorized kind declares its own.
+    numerics = "scalar"
 
     def __init__(self, max_workers: int = 1) -> None:
         self.max_workers = 1
@@ -138,6 +152,7 @@ class _PoolExecutor:
     """Shared machinery for the thread/process pool executors."""
 
     kind = "pool"
+    numerics = "scalar"
 
     def __init__(self, max_workers: int | None = None) -> None:
         self.max_workers = max(1, int(max_workers) if max_workers else available_parallelism())
@@ -173,6 +188,48 @@ class _PoolExecutor:
             self._pool = None
 
 
+class VectorizedExecutor:
+    """Route whole engine batches into one vectorized environment pass.
+
+    Environments that implement ``run_requests(requests)`` — the network
+    simulator evaluates every request as one lane of
+    :func:`repro.sim.batch.simulate_batch` — receive the entire batch in a
+    single call, so N measurements cost one NumPy pass instead of N Python
+    event loops.  The engine has already served cache hits before the batch
+    reaches the executor, so partial hits shrink the vectorized pass.
+    Environments without the hook (after their ``prepare_batch`` resolution,
+    the real network resolves to the simulator and *does* have it) fall back
+    to scalar in-order execution, which keeps ``ATLAS_ENGINE_EXECUTOR=vectorized``
+    safe process-wide.
+
+    Unlike thread/process execution, vectorized results are statistically
+    equivalent to — not byte-identical with — the scalar path; see
+    :mod:`repro.sim.batch` for the numerical contract.
+    """
+
+    kind = "vectorized"
+    #: Vectorized results are statistically equivalent to — not
+    #: byte-identical with — the scalar kinds, so the engine keys cache
+    #: entries per numerics family and the two never serve each other.
+    numerics = "vectorized"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = 1
+
+    def map_requests(
+        self, environment: "Environment", requests: Sequence["MeasurementRequest"]
+    ) -> list["SimulationResult"]:
+        """Execute ``requests`` as one vectorized batch (scalar fallback)."""
+        requests = list(requests)
+        run_requests = getattr(environment, "run_requests", None)
+        if run_requests is None:
+            return [execute_one(environment, request) for request in requests]
+        return run_requests(requests)
+
+    def shutdown(self) -> None:
+        """Nothing to release."""
+
+
 class ThreadExecutor(_PoolExecutor):
     """Thread-pool execution: useful for I/O-bound or GIL-releasing environments."""
 
@@ -200,6 +257,7 @@ EXECUTOR_KINDS: dict[str, Callable[[int | None], object]] = {
     "serial": SerialExecutor,
     "thread": ThreadExecutor,
     "process": ProcessExecutor,
+    "vectorized": VectorizedExecutor,
 }
 
 

@@ -21,10 +21,14 @@ __all__ = [
     "cqi_from_sinr",
     "mcs_from_cqi",
     "select_mcs",
+    "select_mcs_array",
     "spectral_efficiency",
+    "spectral_efficiency_array",
     "prb_rate_bps",
     "block_error_rate",
+    "block_error_rate_array",
     "expected_transmissions",
+    "expected_transmissions_array",
     "LinkAdaptation",
 ]
 
@@ -68,6 +72,19 @@ def select_mcs(sinr_db: float, mcs_offset: float = 0.0) -> int:
     return int(np.clip(round(base - mcs_offset), 0, MAX_MCS))
 
 
+def select_mcs_array(sinr_db, mcs_offset) -> np.ndarray:
+    """Vectorized :func:`select_mcs` over arrays of SINRs and offsets.
+
+    ``np.rint`` rounds half to even exactly like the scalar path's Python
+    ``round``, so the two paths pick identical MCS indices for identical
+    inputs.
+    """
+    sinr = np.asarray(sinr_db, dtype=float)
+    cqi = np.searchsorted(_CQI_SINR_THRESHOLDS_DB, sinr, side="right") - 1
+    base = np.where(cqi <= 0, 0, (np.minimum(cqi, 15) - 1) * MAX_MCS // 14)
+    return np.clip(np.rint(base - mcs_offset), 0, MAX_MCS).astype(np.int64)
+
+
 def spectral_efficiency(mcs: int) -> float:
     """Spectral efficiency (bits/s/Hz) of an MCS index via CQI interpolation."""
     mcs = int(np.clip(mcs, 0, MAX_MCS))
@@ -76,6 +93,16 @@ def spectral_efficiency(mcs: int) -> float:
     upper = min(lower + 1, 15)
     fraction = cqi_equivalent - lower
     return float((1.0 - fraction) * _CQI_EFFICIENCY[lower] + fraction * _CQI_EFFICIENCY[upper])
+
+
+def spectral_efficiency_array(mcs) -> np.ndarray:
+    """Vectorized :func:`spectral_efficiency` over an array of MCS indices."""
+    mcs = np.clip(np.asarray(mcs), 0, MAX_MCS)
+    cqi_equivalent = 1.0 + mcs * 14.0 / MAX_MCS
+    lower = np.floor(cqi_equivalent).astype(np.int64)
+    upper = np.minimum(lower + 1, 15)
+    fraction = cqi_equivalent - lower
+    return (1.0 - fraction) * _CQI_EFFICIENCY[lower] + fraction * _CQI_EFFICIENCY[upper]
 
 
 def prb_rate_bps(n_prbs: float, mcs: int, efficiency_factor: float = 1.0) -> float:
@@ -109,6 +136,30 @@ def block_error_rate(sinr_db: float, mcs: int, floor: float = 2e-3) -> float:
     margin = sinr_db - threshold
     bler = 1.0 / (1.0 + np.exp(1.5 * margin))
     return float(np.clip(bler + floor, floor, 1.0))
+
+
+def block_error_rate_array(sinr_db, mcs, floor) -> np.ndarray:
+    """Vectorized :func:`block_error_rate` over arrays (``floor`` may be an array)."""
+    mcs = np.clip(np.asarray(mcs), 0, MAX_MCS)
+    cqi_equivalent = 1 + np.rint(mcs * 14.0 / MAX_MCS).astype(np.int64)
+    threshold = _CQI_SINR_THRESHOLDS_DB[np.minimum(cqi_equivalent, 15)]
+    threshold = np.where(np.isfinite(threshold), threshold, -7.0)
+    margin = np.asarray(sinr_db, dtype=float) - threshold
+    with np.errstate(over="ignore"):
+        bler = 1.0 / (1.0 + np.exp(1.5 * margin))
+    floor = np.asarray(floor, dtype=float)
+    return np.clip(bler + floor, floor, 1.0)
+
+
+def expected_transmissions_array(bler, max_attempts: int = 4) -> np.ndarray:
+    """Vectorized :func:`expected_transmissions` over an array of error rates."""
+    bler = np.asarray(bler, dtype=float)
+    attempts = np.zeros_like(bler)
+    survive = np.ones_like(bler)
+    for attempt in range(1, max_attempts + 1):
+        attempts += attempt * survive * (1.0 - bler)
+        survive = survive * bler
+    return attempts + max_attempts * survive
 
 
 def expected_transmissions(bler: float, max_attempts: int = 4) -> float:

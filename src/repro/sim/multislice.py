@@ -39,6 +39,7 @@ __all__ = [
     "MultiSliceResult",
     "resolve_contention",
     "run_contended",
+    "run_contended_batch",
 ]
 
 #: Configuration dimensions that draw from a shared physical pool.  MCS
@@ -260,3 +261,53 @@ def run_contended(
     ]
     results = engine.run_batch(requests)
     return MultiSliceResult(runs=runs, allocated=allocated, results=results, budget=budget)
+
+
+def run_contended_batch(
+    environment,
+    rounds: Sequence[Sequence[SliceRun]],
+    budget: ResourceBudget | None = None,
+    duration: float | None = None,
+    engine=None,
+) -> "list[MultiSliceResult]":
+    """Resolve and measure many contended rounds as one engine batch.
+
+    The batched counterpart of :func:`run_contended`: contention is resolved
+    round by round against the same ``budget`` (each round's slices share
+    the physical totals; rounds never contend with each other), then the
+    slices of *all* rounds go out as one flat
+    :class:`~repro.engine.engine.MeasurementEngine` batch — under the
+    ``vectorized`` executor that is a single
+    :func:`repro.sim.batch.simulate_batch` pass over every slice of every
+    round.  Results are regrouped into one :class:`MultiSliceResult` per
+    round, in submission order.
+    """
+    from repro.engine.engine import MeasurementEngine
+    from repro.engine.protocol import MeasurementRequest
+
+    budget = budget if budget is not None else ResourceBudget()
+    rounds = [list(runs) for runs in rounds]
+    if engine is None:
+        engine = MeasurementEngine(environment)
+    elif engine.environment is not environment:
+        raise ValueError("engine must wrap the environment whose slices it measures")
+    allocated_rounds = [resolve_contention([run.config for run in runs], budget) for runs in rounds]
+    requests = [
+        MeasurementRequest(config=config, duration=duration, seed=run.seed, scenario=run.scenario)
+        for runs, allocated in zip(rounds, allocated_rounds)
+        for run, config in zip(runs, allocated)
+    ]
+    flat_results = engine.run_batch(requests)
+    results: list[MultiSliceResult] = []
+    cursor = 0
+    for runs, allocated in zip(rounds, allocated_rounds):
+        results.append(
+            MultiSliceResult(
+                runs=runs,
+                allocated=allocated,
+                results=flat_results[cursor : cursor + len(runs)],
+                budget=budget,
+            )
+        )
+        cursor += len(runs)
+    return results

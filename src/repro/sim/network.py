@@ -10,6 +10,7 @@ packet error rates).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -21,7 +22,13 @@ from repro.sim.events import EventScheduler
 from repro.sim.imperfections import Imperfections
 from repro.sim.application import OffloadingApplication
 from repro.sim.parameters import SimulationParameters
-from repro.sim.multislice import MultiSliceResult, ResourceBudget, SliceRun, run_contended
+from repro.sim.multislice import (
+    MultiSliceResult,
+    ResourceBudget,
+    SliceRun,
+    run_contended,
+    run_contended_batch,
+)
 from repro.sim.ran import RadioAccessNetwork
 from repro.sim.scenario import Scenario
 from repro.sim.transport import BackhaulLink, BASE_PROPAGATION_DELAY_MS
@@ -195,6 +202,87 @@ class NetworkSimulator:
         """Convenience wrapper returning only the latency collection."""
         return self.run(config, traffic=traffic, duration=duration, seed=seed).latencies_ms
 
+    # -------------------------------------------------------------- batched run
+    def run_requests(self, requests) -> "list[SimulationResult]":
+        """Evaluate a batch of engine requests in one vectorized pass.
+
+        The hook the ``vectorized`` engine executor dispatches to: every
+        :class:`~repro.engine.protocol.MeasurementRequest` becomes one lane
+        of :func:`repro.sim.batch.simulate_batch`, with per-request
+        ``params``/``scenario``/``traffic``/``duration`` overrides resolved
+        exactly like the scalar path resolves them and per-request seeds
+        mapped onto the same ``SeedSequence([base_seed, seed])`` streams —
+        so a request's result is reproducible regardless of which other
+        requests share the batch.  Results are statistically equivalent to,
+        not byte-identical with, the scalar discrete-event path (see
+        :mod:`repro.sim.batch`).
+        """
+        from repro.sim.batch import simulate_batch
+
+        configs, scenarios, params, durations, rngs = [], [], [], [], []
+        for request in requests:
+            scenario = request.scenario if request.scenario is not None else self.scenario
+            if request.traffic is not None:
+                scenario = scenario.replace(traffic=int(request.traffic))
+            configs.append(request.config)
+            scenarios.append(scenario)
+            params.append(request.params if request.params is not None else self.params)
+            durations.append(
+                float(request.duration) if request.duration is not None else scenario.duration_s
+            )
+            rngs.append(self._make_rng(request.seed))
+        return simulate_batch(
+            configs,
+            scenarios,
+            params,
+            self.imperfections,
+            durations,
+            rngs,
+            isolation=self.isolation,
+        )
+
+    def run_batch(
+        self,
+        configs: "Sequence[SliceConfig]",
+        traffic: int | None = None,
+        duration: float | None = None,
+        seeds: "Sequence[int | None] | int | None" = None,
+        scenario: Scenario | None = None,
+    ) -> "list[SimulationResult]":
+        """Evaluate N configurations in one vectorized pass.
+
+        Parameters
+        ----------
+        configs:
+            The slice configurations to measure, one lane each.
+        traffic, duration, scenario:
+            Shared overrides, with the same ``None`` semantics as
+            :meth:`run` (``scenario`` replaces this simulator's scenario
+            for every lane before the ``traffic`` override is applied).
+        seeds:
+            Per-lane seeds.  A sequence gives each lane its own seed
+            (``None`` entries draw from the auto-seed stream like
+            :meth:`run` with ``seed=None``); a single ``int`` reuses that
+            seed for every lane — the batched equivalent of calling
+            :meth:`run` with the same seed per configuration; ``None``
+            draws every lane from the auto-seed stream.
+        """
+        from repro.engine.protocol import MeasurementRequest
+
+        configs = list(configs)
+        if seeds is None or isinstance(seeds, (int, np.integer)):
+            seeds = [seeds] * len(configs)
+        elif len(seeds) != len(configs):
+            raise ValueError(f"expected {len(configs)} seeds, got {len(seeds)}")
+        return self.run_requests(
+            [
+                MeasurementRequest(
+                    config=config, traffic=traffic, duration=duration, seed=seed, scenario=scenario
+                )
+                for config, seed in zip(configs, seeds)
+            ]
+        )
+
     # ------------------------------------------------------------- multi-slice
     def run_slices(
         self,
@@ -229,6 +317,26 @@ class NetworkSimulator:
             serial engine is created when omitted.
         """
         return run_contended(self, runs, budget=budget, duration=duration, engine=engine)
+
+    def run_slices_batch(
+        self,
+        rounds: "Sequence[Sequence[SliceRun]]",
+        budget: ResourceBudget | None = None,
+        duration: float | None = None,
+        engine=None,
+    ) -> "list[MultiSliceResult]":
+        """Measure many contended multi-slice rounds as one batch.
+
+        Each round's requested configurations are resolved against
+        ``budget`` with the same proportional-fair contention solver as
+        :meth:`run_slices`; the slices of every round are then measured as
+        one engine batch (one vectorized pass under the ``vectorized``
+        executor).  Returns one
+        :class:`~repro.sim.multislice.MultiSliceResult` per round, in
+        order.  ``engine`` must wrap this simulator; a private engine is
+        created when omitted.
+        """
+        return run_contended_batch(self, rounds, budget=budget, duration=duration, engine=engine)
 
     # ------------------------------------------------------------------- ping
     def _ping_delay_ms(

@@ -84,8 +84,11 @@ class TestExecutorDeterminism:
             assert _results_equal(a, b)
 
     def test_params_override_matches_with_params(self, simulator, default_config):
+        # Pinned to serial: the comparison target is a direct scalar run, and
+        # only the scalar kinds are byte-identical with it (the vectorized
+        # equivalence contract is tested in test_sim_batch.py).
         params = SimulationParameters(compute_time=15.0, backhaul_delay=5.0)
-        engine = MeasurementEngine(simulator, cache=False)
+        engine = MeasurementEngine(simulator, executor="serial", cache=False)
         via_override = engine.run(default_config, traffic=1, duration=DURATION, seed=2, params=params)
         direct = simulator.with_params(params).run(
             default_config, traffic=1, duration=DURATION, seed=2
@@ -194,9 +197,11 @@ class TestMeasurementCache:
 class TestRealNetworkThroughEngine:
     def test_matches_direct_measure(self, default_config):
         scenario = Scenario(traffic=1, duration_s=10.0)
-        via_engine = MeasurementEngine(RealNetwork(scenario=scenario, seed=1), cache=False).run(
-            default_config, traffic=1, duration=DURATION, seed=5
-        )
+        # Pinned to serial: direct measure() is the scalar path, and only the
+        # scalar executor kinds are byte-identical with it.
+        via_engine = MeasurementEngine(
+            RealNetwork(scenario=scenario, seed=1), executor="serial", cache=False
+        ).run(default_config, traffic=1, duration=DURATION, seed=5)
         direct = RealNetwork(scenario=scenario, seed=1).measure(
             default_config, traffic=1, duration=DURATION, seed=5
         )

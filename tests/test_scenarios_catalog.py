@@ -359,7 +359,9 @@ class TestScenarioOverrides:
         direct = simulator.with_scenario(workload.scenario).run(
             workload.deployed_config, duration=5.0, seed=11
         )
-        engine = MeasurementEngine(simulator, cache=False)
+        # Pinned to serial: with_scenario().run() is the scalar path, and only
+        # the scalar executor kinds are byte-identical with it.
+        engine = MeasurementEngine(simulator, executor="serial", cache=False)
         batched = engine.run_batch(
             [
                 MeasurementRequest(
