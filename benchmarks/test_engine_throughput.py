@@ -1,22 +1,32 @@
-"""Micro-benchmark of the measurement engine: serial vs parallel vs vectorized vs cached.
+"""Micro-benchmark of the measurement engine: serial vs parallel vs vectorized vs sharded.
 
-Runs the same 16-measurement batch through the serial, thread, process and
-vectorized executors, verifies the scalar kinds are byte-identical (and the
-vectorized kind statistically equivalent), and records per-executor wall
-time, throughput and speedup plus the cache hit rate of a repeated batch.
-The numbers are printed as a table *and* written to ``BENCH_engine.json`` at
+Two batch shapes are timed.  The *small* batch (16 requests, the paper's
+parallel-query fan-out) runs through the serial, thread, process and
+vectorized executors, verifying the scalar kinds are byte-identical and the
+vectorized kind statistically equivalent, plus the warm-cache repeat.  The
+*large* batch (hundreds of requests, the city-scale shape) compares the
+vectorized pass against the ``sharded`` executor — per-worker vectorized
+passes over contiguous shards — and the adaptive ``auto`` policy, verifying
+sharded results are **byte-identical** to the whole-batch vectorized pass.
+The numbers are printed as tables *and* written to ``BENCH_engine.json`` at
 the repository root — the machine-readable perf trajectory CI uploads on
-every push (schema documented in ``docs/performance.md``).
+every push (schema ``atlas-bench-engine/2``, documented in
+``docs/performance.md``), including the *effective* per-executor worker
+counts and the persistent-pool reuse counters (no per-batch respawn).
 
-Two speedup gates are asserted:
+Speedup gates:
 
 * the vectorized executor must beat serial by ``REQUIRED_VECTORIZED_SPEEDUP``
   (it collapses the batch into one NumPy pass, so the target holds on a
-  single core), and
+  single core);
 * the process executor must beat serial by ``REQUIRED_PROCESS_SPEEDUP`` on
   machines with at least two usable cores (on a single-core runner
   multiprocessing cannot win, so the numbers are recorded without the
-  assertion).
+  assertion);
+* the sharded executor must beat whole-batch vectorized by
+  ``REQUIRED_SHARDED_SPEEDUP`` on ≥ 2 cores, and stay within
+  ``REQUIRED_SHARDED_PARITY`` of it on a single core (where sharding
+  degenerates to one in-process vectorized pass — no pool, no regression).
 """
 
 from __future__ import annotations
@@ -33,33 +43,48 @@ from repro.engine import (
     MeasurementEngine,
     MeasurementRequest,
     available_parallelism,
+    pool_diagnostics,
+    shutdown_worker_pools,
 )
 from repro.sim.config import SliceConfig
 from repro.sim.network import NetworkSimulator
 from repro.sim.scenario import Scenario
 
-#: Batch size of the benchmark (the paper parallelises up to 16 queries).
+#: Small-batch size (the paper parallelises up to 16 queries).
 BATCH_SIZE = 16
+#: Large-batch size: the shape where sharding the vectorized pass pays.
+LARGE_BATCH_SIZE = 192
 #: Workers of the parallel executors.
 WORKERS = 4
-#: Required process-executor speedup on multi-core machines.
+#: Required process-executor speedup over serial on multi-core machines.
 REQUIRED_PROCESS_SPEEDUP = 1.5
-#: Required vectorized-executor speedup (single-core, so always asserted).
+#: Required vectorized-executor speedup over serial (single-core, so always asserted).
 REQUIRED_VECTORIZED_SPEEDUP = 5.0
+#: Required sharded speedup over whole-batch vectorized on >= 2 cores.
+REQUIRED_SHARDED_SPEEDUP = 1.5
+#: Required sharded/vectorized parity on a single core (degenerate one-shard case).
+REQUIRED_SHARDED_PARITY = 0.9
 #: Where the machine-readable results land (the repository root).
 BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 #: Schema identifier of the emitted JSON (bump on breaking changes).
-BENCH_SCHEMA = "atlas-bench-engine/1"
+BENCH_SCHEMA = "atlas-bench-engine/2"
+
+_CONFIG = SliceConfig(bandwidth_ul=10, bandwidth_dl=5, backhaul_bw=10, cpu_ratio=0.8)
 
 
-def _batch(scale) -> list[MeasurementRequest]:
-    config = SliceConfig(bandwidth_ul=10, bandwidth_dl=5, backhaul_bw=10, cpu_ratio=0.8)
+def _batch(scale, size=BATCH_SIZE, duration_factor=8.0, duration_floor=120.0):
     # Long enough runs that per-request work dominates pool/pickling overhead.
-    duration = max(8.0 * scale.measurement_duration_s, 120.0)
+    duration = max(duration_factor * scale.measurement_duration_s, duration_floor)
     return [
-        MeasurementRequest(config=config, traffic=4, duration=duration, seed=seed)
-        for seed in range(BATCH_SIZE)
+        MeasurementRequest(config=_CONFIG, traffic=4, duration=duration, seed=seed)
+        for seed in range(size)
     ]
+
+
+def _large_batch(scale):
+    # Hundreds of lanes, shorter runs: the wide-batch shape the sharded
+    # executor is built for (per-frame NumPy work scales with lane count).
+    return _batch(scale, size=LARGE_BATCH_SIZE, duration_factor=2.0, duration_floor=30.0)
 
 
 def _timed(engine: MeasurementEngine, requests: list[MeasurementRequest]):
@@ -68,11 +93,23 @@ def _timed(engine: MeasurementEngine, requests: list[MeasurementRequest]):
     return time.perf_counter() - start, results
 
 
-def _executor_entry(wall_s: float, serial_s: float) -> dict:
+def _timed_best(engine: MeasurementEngine, requests: list[MeasurementRequest], repeats: int = 2):
+    # Best-of-N wall clock: the large-batch passes are fast enough (~0.1 s)
+    # that a single stray scheduler tick shifts a ratio by 10%+.
+    best_s, best_results = _timed(engine, requests)
+    for _ in range(repeats - 1):
+        wall_s, results = _timed(engine, requests)
+        if wall_s < best_s:
+            best_s, best_results = wall_s, results
+    return best_s, best_results
+
+
+def _executor_entry(wall_s: float, baseline_s: float, batch_size: int, workers: int) -> dict:
     return {
         "wall_s": round(wall_s, 6),
-        "throughput_rps": round(BATCH_SIZE / wall_s, 3) if wall_s > 0 else None,
-        "speedup_vs_serial": round(serial_s / wall_s, 3) if wall_s > 0 else None,
+        "throughput_rps": round(batch_size / wall_s, 3) if wall_s > 0 else None,
+        "speedup_vs_serial": round(baseline_s / wall_s, 3) if wall_s > 0 else None,
+        "workers": workers,
     }
 
 
@@ -81,6 +118,8 @@ def test_engine_throughput(scale):
     requests = _batch(scale)
     cores = available_parallelism()
     workers = min(WORKERS, max(2, cores))
+    shutdown_worker_pools()  # cold start: pool accounting below is this run's
+    pools_before = pool_diagnostics()
 
     serial = MeasurementEngine(simulator, executor="serial", cache=False)
     thread = MeasurementEngine(simulator, executor="thread", max_workers=workers, cache=False)
@@ -106,7 +145,6 @@ def test_engine_throughput(scale):
         if serial_s / vectorized_s < REQUIRED_VECTORIZED_SPEEDUP:
             vectorized_s, vectorized_results = _timed(vectorized, requests)
     finally:
-        process.shutdown()
         thread.shutdown()
 
     # Byte-identical results across the scalar executor kinds.
@@ -123,6 +161,38 @@ def test_engine_throughput(scale):
     assert abs(vectorized_pool.mean() - serial_pool.mean()) / serial_pool.mean() < 0.05
     assert abs(vectorized_pool.size - serial_pool.size) / serial_pool.size < 0.05
 
+    # ------------------------------------------------------------ large batch
+    # Sharded (per-worker vectorized passes) vs one whole-batch vectorized
+    # pass, plus the adaptive policy.  Sharding degenerates to the inline
+    # whole-batch pass on a single core, so it is always safe to time.
+    large_requests = _large_batch(scale)
+    sharded = MeasurementEngine(simulator, executor="sharded", max_workers=workers, cache=False)
+    auto = MeasurementEngine(simulator, executor="auto", max_workers=workers, cache=False)
+    # Warm both paths on the full shape before timing: the first pass over an
+    # (N, frames) batch pays one-off allocation costs, and sharding needs its
+    # (persistent) pool spawned — neither belongs in the comparison.
+    vectorized.run_batch(large_requests)
+    sharded.run_batch(large_requests)
+    vectorized_large_s, vectorized_large_results = _timed_best(vectorized, large_requests)
+    sharded_s, sharded_results = _timed_best(sharded, large_requests)
+    sharded_speedup_vs_vectorized = vectorized_large_s / sharded_s if sharded_s > 0 else float("inf")
+    required_sharded = REQUIRED_SHARDED_SPEEDUP if cores >= 2 else REQUIRED_SHARDED_PARITY
+    if sharded_speedup_vs_vectorized < required_sharded:
+        vectorized_large_s, vectorized_large_results = _timed_best(vectorized, large_requests)
+        sharded_s, sharded_results = _timed_best(sharded, large_requests)
+        sharded_speedup_vs_vectorized = (
+            vectorized_large_s / sharded_s if sharded_s > 0 else float("inf")
+        )
+    sharded_shards = sharded.executor.last_shards
+    auto_s, auto_results = _timed_best(auto, large_requests)
+    auto_choice = auto.executor.last_choice
+
+    # A sharded batch is byte-identical to the whole-batch vectorized pass.
+    for a, b in zip(vectorized_large_results, sharded_results):
+        assert np.array_equal(a.latencies_ms, b.latencies_ms)
+        assert a.stage_breakdown_ms == b.stage_breakdown_ms
+        assert a.ping_delay_ms == b.ping_delay_ms
+
     # Cache: the second submission of an identical batch is served for free.
     cold_s, cold_results = _timed(cached, requests)
     warm_s, warm_results = _timed(cached, requests)
@@ -133,6 +203,22 @@ def test_engine_throughput(scale):
     assert warm_s < cold_s
     for a, b in zip(cold_results, warm_results):
         assert np.array_equal(a.latencies_ms, b.latencies_ms)
+
+    # Persistent pools: the process/sharded batches above reused warm pools
+    # instead of respawning one per batch (creations stay far below
+    # dispatches; reinitialisations only happen on environment change).
+    pools_after = pool_diagnostics()
+    pool_summary = {
+        key: pools_after[key] - pools_before.get(key, 0)
+        for key in ("pools_created", "pools_reinitialized", "batches_dispatched")
+    }
+    pool_summary["live_pools"] = pools_after["live_pools"]
+    if pool_summary["batches_dispatched"] > 0:
+        assert pool_summary["pools_created"] <= 1, (
+            f"expected one persistent pool, saw {pool_summary['pools_created']} creations "
+            f"across {pool_summary['batches_dispatched']} dispatches"
+        )
+        assert pool_summary["pools_reinitialized"] == 0
 
     process_speedup = serial_s / process_s if process_s > 0 else float("inf")
     vectorized_speedup = serial_s / vectorized_s if vectorized_s > 0 else float("inf")
@@ -147,7 +233,24 @@ def test_engine_throughput(scale):
             {"executor": "cached (warm)", "wall_s": warm_s, "speedup": warm_speedup},
         ],
     )
+    print_table(
+        f"Large batch ({LARGE_BATCH_SIZE} runs, {cores} cores): vectorized vs sharded vs auto",
+        [
+            {"executor": "vectorized", "wall_s": vectorized_large_s, "vs_vectorized": 1.0},
+            {
+                "executor": f"sharded ({sharded_shards} shard(s))",
+                "wall_s": sharded_s,
+                "vs_vectorized": sharded_speedup_vs_vectorized,
+            },
+            {
+                "executor": f"auto -> {auto_choice}",
+                "wall_s": auto_s,
+                "vs_vectorized": vectorized_large_s / auto_s if auto_s > 0 else float("inf"),
+            },
+        ],
+    )
     print(f"cache stats: {stats.as_dict()}")
+    print(f"pool reuse: {pool_summary}")
 
     payload = {
         "schema": BENCH_SCHEMA,
@@ -156,18 +259,45 @@ def test_engine_throughput(scale):
         "scale": scale.name,
         "batch_size": BATCH_SIZE,
         "measurement_duration_s": float(requests[0].duration),
-        "workers": workers,
         "cores": cores,
         "executors": {
-            "serial": _executor_entry(serial_s, serial_s),
-            "thread": _executor_entry(thread_s, serial_s),
-            "process": _executor_entry(process_s, serial_s),
-            "vectorized": _executor_entry(vectorized_s, serial_s),
+            # "workers" is the *effective* worker count each executor really
+            # used — 1 for the in-process kinds regardless of machine shape.
+            "serial": _executor_entry(serial_s, serial_s, BATCH_SIZE, 1),
+            "thread": _executor_entry(thread_s, serial_s, BATCH_SIZE, thread.max_workers),
+            "process": _executor_entry(process_s, serial_s, BATCH_SIZE, process.max_workers),
+            "vectorized": _executor_entry(vectorized_s, serial_s, BATCH_SIZE, 1),
             "cached_warm": {
-                **_executor_entry(warm_s, serial_s),
+                **_executor_entry(warm_s, serial_s, BATCH_SIZE, 1),
                 "cache_hit_rate": stats.hit_rate,
             },
         },
+        "large_batch": {
+            "batch_size": LARGE_BATCH_SIZE,
+            "measurement_duration_s": float(large_requests[0].duration),
+            "executors": {
+                "vectorized": {
+                    "wall_s": round(vectorized_large_s, 6),
+                    "throughput_rps": round(LARGE_BATCH_SIZE / vectorized_large_s, 3),
+                    "speedup_vs_vectorized": 1.0,
+                    "workers": 1,
+                },
+                "sharded": {
+                    "wall_s": round(sharded_s, 6),
+                    "throughput_rps": round(LARGE_BATCH_SIZE / sharded_s, 3),
+                    "speedup_vs_vectorized": round(sharded_speedup_vs_vectorized, 3),
+                    "workers": sharded_shards,
+                },
+                "auto": {
+                    "wall_s": round(auto_s, 6),
+                    "throughput_rps": round(LARGE_BATCH_SIZE / auto_s, 3),
+                    "speedup_vs_vectorized": round(vectorized_large_s / auto_s, 3),
+                    "workers": sharded_shards if auto_choice == "sharded" else 1,
+                    "choice": auto_choice,
+                },
+            },
+        },
+        "pools": pool_summary,
         "cache": stats.as_dict(),
     }
     BENCH_JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -182,8 +312,18 @@ def test_engine_throughput(scale):
             f"process executor speedup {process_speedup:.2f}x below the "
             f"{REQUIRED_PROCESS_SPEEDUP}x target on a {cores}-core machine"
         )
+        assert sharded_speedup_vs_vectorized >= REQUIRED_SHARDED_SPEEDUP, (
+            f"sharded executor only {sharded_speedup_vs_vectorized:.2f}x the whole-batch "
+            f"vectorized pass on a {cores}-core machine (target "
+            f"{REQUIRED_SHARDED_SPEEDUP}x with {sharded_shards} shards)"
+        )
     else:
         print(
             f"[atlas-bench] single usable core: recorded process speedup "
             f"{process_speedup:.2f}x without asserting the {REQUIRED_PROCESS_SPEEDUP}x target"
+        )
+        assert sharded_speedup_vs_vectorized >= REQUIRED_SHARDED_PARITY, (
+            f"sharded executor regressed to {sharded_speedup_vs_vectorized:.2f}x of the "
+            f"vectorized pass on one core — the degenerate single-shard path must stay "
+            f"within {REQUIRED_SHARDED_PARITY}x"
         )

@@ -10,8 +10,9 @@ Three subcommands cover the catalog workflow:
 ``run --scenario <name> --stage 1|2|3|all``
     Execute the Atlas pipeline on a catalog entry.  Stage budgets come from
     ``--scale`` (smoke / small / paper, the ``ATLAS_BENCH_SCALE`` levels)
-    and every measurement engine uses ``--executor`` (serial / thread /
-    process, the ``ATLAS_ENGINE_EXECUTOR`` kinds).  Multi-slice entries
+    and every measurement engine uses ``--executor`` (auto / serial /
+    thread / process / vectorized / sharded, the ``ATLAS_ENGINE_EXECUTOR``
+    kinds; ``auto`` — the default — picks per batch).  Multi-slice entries
     measure all slices concurrently under resource contention before and
     after optimisation; dynamic entries replay their traffic trace during
     online learning.
@@ -304,7 +305,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     try:
         print(
             f"scenario {spec.name!r} | stage {args.stage} | scale {scale.name} | "
-            f"executor {os.environ.get(EXECUTOR_ENV_VAR, 'serial')} | "
+            f"executor {os.environ.get(EXECUTOR_ENV_VAR, 'auto')} | "
             f"measurement duration {duration:g}s"
         )
         summary: dict = {
@@ -418,7 +419,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor",
         choices=tuple(sorted(EXECUTOR_KINDS)),
         default=None,
-        help="measurement-engine executor (default: the ATLAS_ENGINE_EXECUTOR env var, then 'serial')",
+        help=(
+            "measurement-engine executor (default: the ATLAS_ENGINE_EXECUTOR env var, then "
+            "'auto' — adaptive per-batch selection; 'sharded' composes the process and "
+            "vectorized speedups)"
+        ),
     )
     run_parser.add_argument("--seed", type=int, default=0, help="base random seed (default: 0)")
     run_parser.add_argument(

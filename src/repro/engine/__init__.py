@@ -2,7 +2,8 @@
 
 Every simulator / real-network query in the reproduction flows through
 :class:`~repro.engine.engine.MeasurementEngine`, which batches requests,
-executes them through pluggable serial/thread/process/vectorized executors
+executes them through pluggable serial/thread/process/vectorized/sharded
+executors (adaptively selected per batch under the default ``auto`` kind)
 and memoises results in a content-keyed cache.  See ``docs/architecture.md``
 for the architecture walkthrough (sim → engine → stages → experiments) and
 ``docs/performance.md`` for the executor selection guide.
@@ -13,9 +14,12 @@ from repro.engine.engine import MeasurementEngine
 from repro.engine.executors import (
     EXECUTOR_KINDS,
     available_parallelism,
+    choose_executor,
     default_executor_kind,
     make_executor,
+    pool_diagnostics,
     register_executor,
+    shutdown_worker_pools,
 )
 from repro.engine.protocol import Environment, MeasurementRequest
 
@@ -27,8 +31,11 @@ __all__ = [
     "MeasurementEngine",
     "MeasurementRequest",
     "available_parallelism",
+    "choose_executor",
     "default_executor_kind",
     "make_executor",
+    "pool_diagnostics",
     "register_executor",
     "shared_cache",
+    "shutdown_worker_pools",
 ]

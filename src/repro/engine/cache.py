@@ -3,10 +3,16 @@
 Results are keyed on the full content of a query — environment fingerprint
 (simulation parameters, scenario, imperfections, base seed, isolation) plus
 the request (config, traffic, duration, per-run seed, parameter override)
-plus the executor's numerics family (scalar kinds share entries; the
-vectorized kind has its own) — so a cached entry is, by construction,
-byte-identical to what re-running the measurement through the same family
-would produce.  Sweep experiments that revisit identical queries
+plus the executor's numerics family — so a cached entry is, by
+construction, byte-identical to what re-running the measurement through the
+same family would produce.  Two families exist: the scalar kinds
+(serial/thread/process) are byte-identical and share entries, and the
+``vectorized`` family is shared by the vectorized *and* sharded kinds —
+sharding a batch across workers returns byte-identical results to the
+whole-batch vectorized pass, so the two interchangeably serve each other.
+The adaptive ``auto`` kind resolves its family from the environment alone
+(vector-capable → ``vectorized``, otherwise ``scalar``), never from the
+batch shape, so one environment's results always live in one family.  Sweep experiments that revisit identical queries
 (the Fig. 15 heatmap grid, the Fig. 18/19 availability and threshold sweeps
 re-collecting the same DLDA grid) therefore get them for free.
 

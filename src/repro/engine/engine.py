@@ -4,8 +4,9 @@
 consumer (stages 1–3, the baselines and the experiment runners) submits its
 measurements through.  It accepts batches of
 :class:`~repro.engine.protocol.MeasurementRequest`, executes them through a
-pluggable executor (``serial``, ``thread``, ``process`` or ``vectorized``)
-and memoises the results in a content-keyed cache.
+pluggable executor (``auto`` — the adaptive default — ``serial``,
+``thread``, ``process``, ``vectorized`` or ``sharded``) and memoises the
+results in a content-keyed cache.
 
 Determinism
     ``seed=None`` requests are resolved from a per-engine
@@ -56,15 +57,21 @@ class MeasurementEngine:
         Any :class:`~repro.engine.protocol.Environment` (the simulator or the
         real network).
     executor:
-        ``"serial"`` (default), ``"thread"``, ``"process"`` or
-        ``"vectorized"``; ``None`` picks the kind selected by the
-        ``ATLAS_ENGINE_EXECUTOR`` environment variable.  ``vectorized``
-        collapses each batch into one NumPy pass over the environment's
-        ``run_requests`` hook instead of spreading scalar runs across
-        workers.  Custom kinds can be registered via
+        ``"auto"`` (the default), ``"serial"``, ``"thread"``, ``"process"``,
+        ``"vectorized"`` or ``"sharded"``; ``None`` picks the kind selected
+        by the ``ATLAS_ENGINE_EXECUTOR`` environment variable, falling back
+        to ``auto`` — the adaptive policy of
+        :func:`repro.engine.executors.choose_executor`, which picks
+        serial / vectorized / sharded / process per batch from the batch
+        shape, the usable cores and the environment's capabilities.
+        ``vectorized`` collapses each batch into one NumPy pass over the
+        environment's ``run_requests`` hook; ``sharded`` runs that pass
+        inside each process-pool worker so the multi-core and vectorized
+        speedups multiply.  Custom kinds can be registered via
         :func:`repro.engine.executors.register_executor`.
     max_workers:
-        Parallel workers of the thread/process executors.  Defaults to the
+        Parallel workers of the thread/process/sharded executors (and the
+        concurrency cap of ``auto``'s per-batch choice).  Defaults to the
         machine's available parallelism; stages pass their
         ``parallel_queries`` budget here so the paper's scale knobs map
         directly onto real concurrency.
@@ -106,6 +113,16 @@ class MeasurementEngine:
         #: Batches submitted through :meth:`run_batch`.
         self.submitted_batches = 0
 
+    # ---------------------------------------------------------------- executor
+    @property
+    def executor(self):
+        """The executor instance dispatching this engine's batches.
+
+        Useful for introspection: ``engine.executor.last_choice`` under the
+        ``auto`` kind, ``engine.executor.last_shards`` under ``sharded``.
+        """
+        return self._executor
+
     # ------------------------------------------------------------------- cache
     @property
     def cache(self) -> MeasurementCache | None:
@@ -127,10 +144,16 @@ class MeasurementEngine:
     def _cache_key(self, environment: Environment, request: MeasurementRequest) -> tuple:
         # Keys carry the executor's numerics family: the scalar kinds
         # (serial/thread/process) are byte-identical and share entries, but
-        # the vectorized kind's statistically-equivalent results must never
-        # be served to a scalar engine (or vice versa) through the
-        # process-wide shared cache.
+        # the vectorized family's statistically-equivalent results (the
+        # vectorized and sharded kinds, byte-identical to each other) must
+        # never be served to a scalar engine (or vice versa) through the
+        # process-wide shared cache.  Adaptive executors expose ``numerics``
+        # as a callable of the environment — the family must be fixed before
+        # cache lookup, so it can depend on the environment's capabilities
+        # but never on the batch shape.
         numerics = getattr(self._executor, "numerics", "scalar")
+        if callable(numerics):
+            numerics = numerics(environment)
         return (environment.fingerprint(), request.key(), numerics)
 
     # ----------------------------------------------------------------- seeding
@@ -216,7 +239,14 @@ class MeasurementEngine:
 
     # ---------------------------------------------------------------- lifecycle
     def shutdown(self) -> None:
-        """Release executor resources (pools re-spawn lazily if reused)."""
+        """Release engine-owned executor resources.
+
+        Thread pools are torn down (and lazily re-created on reuse); the
+        process pools backing the ``process``/``sharded`` kinds are shared
+        process-wide and deliberately stay warm — see
+        :func:`repro.engine.executors.shutdown_worker_pools` for the real
+        teardown.
+        """
         self._executor.shutdown()
 
     def __enter__(self) -> "MeasurementEngine":

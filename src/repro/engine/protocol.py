@@ -26,6 +26,15 @@ An environment may additionally implement two optional hooks:
     Return a copy of the environment under a different workload scenario;
     required only to execute requests carrying a ``scenario`` override
     (multi-slice rounds batch one request per slice this way).
+
+``run_requests(requests)``
+    Evaluate a whole batch of requests in one call and return their results
+    in order — the vectorized hook the ``vectorized`` and ``sharded``
+    executors (and the adaptive ``auto`` policy) dispatch to.  Per-request
+    results must be independent of which other requests share the batch, so
+    executors may freely split one batch into shards; the network simulator
+    satisfies this through per-lane seed-derived random streams (see
+    :mod:`repro.sim.batch`).
 """
 
 from __future__ import annotations

@@ -27,7 +27,7 @@ Numerical contract
     spikes reorder completions, which perturbs per-frame pairings but not
     the latency distribution.
 
-Determinism
+Determinism and shard invariance
     Each lane draws from its own generator, seeded exactly like the scalar
     path (``SeedSequence([base_seed, request_seed])``), on a fixed schedule:
     the post-run draws (ping, saturation throughput) first, then one
@@ -35,6 +35,20 @@ Determinism
     indices.  A lane's draws depend only on its own request, never on which
     other requests share the batch, so ``run_batch`` results are
     reproducible per request under any batch composition.
+
+    This per-lane seed-stream slicing is a load-bearing contract: it means
+    any *partition* of a batch evaluates byte-identically to the whole
+    batch — lanes that outlive their shard-mates merely stop producing
+    finite frames, and the extra blocks a longer-lived composition draws
+    are never consumed by a finished lane's result.  The ``sharded`` engine
+    executor (``repro/engine/executors.py``) relies on exactly this to
+    split one large batch across worker processes, each running this
+    vectorized pass over its shard, with results byte-identical to the
+    single whole-batch pass; ``tests/test_engine_sharded.py`` gates the
+    equivalence on every catalog scenario.  Sharding also has a second,
+    less obvious win: a shard groups fewer lanes under one "longest lane",
+    so short-lane shards exit their block loop earlier instead of idling
+    until the global longest lane completes.
 """
 
 from __future__ import annotations
