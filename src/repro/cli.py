@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line: run any catalog scenario end to end.
 
-Three subcommands cover the catalog workflow:
+Four subcommands cover the catalog workflow:
 
 ``list-scenarios``
     One line per registered catalog entry (name, slices, traffic, SLA).
@@ -16,6 +16,12 @@ Three subcommands cover the catalog workflow:
     measure all slices concurrently under resource contention before and
     after optimisation; dynamic entries replay their traffic trace during
     online learning.
+``eval``
+    Replay the curated evaluation dataset over the whole catalog, score
+    every run with the :mod:`repro.metrics` scorers, write the structured
+    run layout plus ``EVAL_report.json`` (schema ``atlas-eval/1``) under
+    ``--out``, and exit nonzero when the regression gate fails — see
+    ``docs/evaluation.md``.
 
 Stage semantics: ``--stage 1`` searches simulation parameters only;
 ``--stage 2`` trains offline against the *original* simulator; ``--stage 3``
@@ -30,6 +36,7 @@ import argparse
 import json
 import os
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.core.offline_training import OfflineConfigurationTrainer, OfflineTrainingConfig
@@ -370,6 +377,28 @@ def cmd_run(args: argparse.Namespace) -> int:
                 os.environ[EXECUTOR_ENV_VAR] = previous_executor
 
 
+def cmd_eval(args: argparse.Namespace) -> int:
+    """Replay the eval dataset, write the report, exit on the gate verdict."""
+    from repro.evalharness import evaluate, render_report, write_report
+
+    report, gate, _ = evaluate(
+        cases_path=args.cases,
+        group=args.group,
+        scenario=args.eval_scenario,
+        seeds=args.seeds,
+        executor=args.executor,
+        out_dir=args.out,
+        determinism=not args.no_determinism,
+    )
+    report_path = write_report(report, Path(args.out) / "EVAL_report.json")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
+        print(f"wrote {report_path}")
+    return 0 if gate.passed else 1
+
+
 def _jsonable(value):
     """Drop private keys and coerce numpy scalars so ``json.dump`` succeeds."""
     if isinstance(value, dict):
@@ -434,6 +463,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--json", default=None, help="write a JSON summary to this path")
     run_parser.set_defaults(handler=cmd_run)
+
+    eval_parser = subparsers.add_parser(
+        "eval",
+        help="replay the curated eval dataset and run the regression gate",
+    )
+    eval_parser.add_argument(
+        "--group", default=None, help="only replay cases in this group (disables coverage check)"
+    )
+    eval_parser.add_argument(
+        "--scenario",
+        dest="eval_scenario",
+        default=None,
+        help="only replay cases for this catalog scenario (disables coverage check)",
+    )
+    eval_parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        help="override every case's replay seeds (default: the seeds in cases.yaml)",
+    )
+    eval_parser.add_argument(
+        "--executor",
+        choices=tuple(sorted(EXECUTOR_KINDS)),
+        default=None,
+        help=(
+            "measurement-engine executor; the replay pins one numerics family, so the "
+            "choice cannot change any metric (default: the ATLAS_ENGINE_EXECUTOR env "
+            "var, then 'auto')"
+        ),
+    )
+    eval_parser.add_argument(
+        "--out",
+        default="eval_out",
+        help="run-layout root; EVAL_report.json is written here (default: eval_out)",
+    )
+    eval_parser.add_argument(
+        "--cases",
+        default=None,
+        help="alternative case-registry file (default: the checked-in cases.yaml)",
+    )
+    eval_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the atlas-eval/1 report JSON instead of the human-readable summary",
+    )
+    eval_parser.add_argument(
+        "--no-determinism",
+        action="store_true",
+        help="skip the gate's replay-twice determinism check (quick local runs)",
+    )
+    eval_parser.set_defaults(handler=cmd_eval)
     return parser
 
 
@@ -446,3 +527,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     except UnknownScenarioError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except Exception as error:
+        from repro.evalharness.dataset import EvalDatasetError
+
+        if isinstance(error, EvalDatasetError):
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        raise

@@ -22,6 +22,7 @@ from repro.engine.executors import (
     shutdown_worker_pools,
 )
 from repro.engine.protocol import Environment, MeasurementRequest
+from repro.engine.replay import VectorReplayEnvironment
 
 __all__ = [
     "CacheStats",
@@ -30,6 +31,7 @@ __all__ = [
     "MeasurementCache",
     "MeasurementEngine",
     "MeasurementRequest",
+    "VectorReplayEnvironment",
     "available_parallelism",
     "choose_executor",
     "default_executor_kind",

@@ -1,0 +1,161 @@
+"""Numerics-pinned replay environments for reproducible evaluation runs.
+
+The engine's executor kinds fall into two *numerics families*: the scalar
+kinds (``serial``/``thread``/``process``) replay the discrete-event
+simulation per request, while the vectorized kinds (``vectorized``/
+``sharded``, and ``auto`` on vector-capable environments) evaluate whole
+batches through :func:`repro.sim.batch.simulate_batch`.  The two families
+are statistically equivalent but not byte-identical, so any harness that
+pins *expected metric values* — the evaluation harness's envelopes, its
+byte-identity determinism gate — must pin one family first, or the numbers
+would depend on which executor happened to run the batch.
+
+:class:`VectorReplayEnvironment` is that pin.  It wraps a vector-capable
+environment and routes **every** measurement through the ``run_requests``
+batch hook — a scalar ``run()`` call becomes a one-lane batch.  Because
+each lane of the batch path draws only from its own seed-derived stream
+(the composition-invariance contract gated by
+``tests/test_engine_sharded.py``), a one-lane batch is byte-identical to
+the same lane inside any larger batch.  The result: ``serial``,
+``vectorized``, ``sharded`` and ``auto`` engines all produce *identical*
+results against a wrapped environment, and the evaluation report can assert
+byte-level determinism across executors instead of mere statistical
+agreement.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.engine.protocol import MeasurementRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.config import SliceConfig
+    from repro.sim.network import SimulationResult
+    from repro.sim.parameters import SimulationParameters
+    from repro.sim.scenario import Scenario
+
+__all__ = ["VectorReplayEnvironment"]
+
+
+class VectorReplayEnvironment:
+    """Pin an environment's measurements to the vectorized numerics family.
+
+    Wraps any vector-capable environment — one that implements
+    ``run_requests``, or whose ``prepare_batch`` resolves to one (the real
+    network resolves to its inner simulator) — and satisfies the full
+    :class:`~repro.engine.protocol.Environment` protocol itself, so it can
+    be handed to a :class:`~repro.engine.engine.MeasurementEngine` under
+    *any* executor kind:
+
+    * scalar executors call :meth:`run`, which executes a one-lane
+      ``run_requests`` batch;
+    * vectorized/sharded executors call :meth:`run_requests`, which
+      delegates to the wrapped environment;
+    * ``prepare_batch`` re-wraps whatever environment the inner hook
+      resolves to, so the pin survives the real network's domain-manager
+      resolution and process-pool dispatch alike.
+
+    Per-request ``params``/``scenario`` overrides work through the wrapped
+    environment's own ``with_params``/``with_scenario`` (re-wrapped on the
+    way out).  The fingerprint is namespaced so pinned results can never be
+    served from (or into) a scalar engine's cache entries for the bare
+    environment.
+    """
+
+    def __init__(self, inner) -> None:
+        if (
+            getattr(inner, "run_requests", None) is None
+            and getattr(inner, "prepare_batch", None) is None
+        ):
+            raise TypeError(
+                f"{type(inner).__name__} is not vector-capable: it implements neither "
+                "run_requests nor a prepare_batch that could resolve to it"
+            )
+        self.inner = inner
+
+    # ------------------------------------------------------------- protocol
+    @property
+    def scenario(self) -> "Scenario":
+        """The wrapped environment's scenario (Environment protocol)."""
+        return self.inner.scenario
+
+    def fingerprint(self) -> tuple:
+        """Namespaced content identity: pinned results never share cache entries."""
+        return ("vector-replay",) + tuple(self.inner.fingerprint())
+
+    def run(
+        self,
+        config: "SliceConfig",
+        traffic: int | None = None,
+        duration: float | None = None,
+        seed: int | None = None,
+    ) -> "SimulationResult":
+        """Run one measurement as a one-lane vectorized batch."""
+        request = MeasurementRequest(
+            config=config, traffic=traffic, duration=duration, seed=seed
+        )
+        return self.run_requests([request])[0]
+
+    def collect_latencies(
+        self,
+        config: "SliceConfig",
+        traffic: int | None = None,
+        duration: float | None = None,
+        seed: int | None = None,
+    ) -> np.ndarray:
+        """Run one pinned measurement and return only the latency collection."""
+        return self.run(config, traffic=traffic, duration=duration, seed=seed).latencies_ms
+
+    # ----------------------------------------------------------- batch hooks
+    def run_requests(self, requests: Sequence[MeasurementRequest]) -> "list[SimulationResult]":
+        """Evaluate a batch through the wrapped environment's vectorized path."""
+        requests = list(requests)
+        hook = getattr(self.inner, "run_requests", None)
+        if hook is not None:
+            return hook(requests)
+        # No direct hook: resolve through prepare_batch (the real network
+        # resolves to its inner simulator, which does vectorize).
+        prepared, resolved = self.inner.prepare_batch(requests)
+        hook = getattr(prepared, "run_requests", None)
+        if hook is None:
+            raise TypeError(
+                f"{type(self.inner).__name__}.prepare_batch resolved to "
+                f"{type(prepared).__name__}, which has no run_requests hook"
+            )
+        return hook(resolved)
+
+    def prepare_batch(
+        self, requests: Sequence[MeasurementRequest]
+    ) -> "tuple[VectorReplayEnvironment, list[MeasurementRequest]]":
+        """Delegate batch preparation and re-wrap the resolved environment."""
+        prepare = getattr(self.inner, "prepare_batch", None)
+        if prepare is None:
+            return self, list(requests)
+        prepared, resolved = prepare(list(requests))
+        return VectorReplayEnvironment(prepared), resolved
+
+    # ------------------------------------------------------------- overrides
+    def with_params(self, params: "SimulationParameters") -> "VectorReplayEnvironment":
+        """A pinned copy of the wrapped environment under different parameters."""
+        with_params = getattr(self.inner, "with_params", None)
+        if with_params is None:
+            raise TypeError(
+                f"{type(self.inner).__name__} does not support simulation-parameter overrides"
+            )
+        return VectorReplayEnvironment(with_params(params))
+
+    def with_scenario(self, scenario: "Scenario") -> "VectorReplayEnvironment":
+        """A pinned copy of the wrapped environment under a different scenario."""
+        with_scenario = getattr(self.inner, "with_scenario", None)
+        if with_scenario is None:
+            raise TypeError(
+                f"{type(self.inner).__name__} does not support scenario overrides"
+            )
+        return VectorReplayEnvironment(with_scenario(scenario))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        """Compact description naming the wrapped environment."""
+        return f"VectorReplayEnvironment({self.inner!r})"

@@ -1,0 +1,358 @@
+"""The curated replay dataset: eval cases, envelopes, and the registry file.
+
+The evaluation harness runs a checked-in registry of **replay cases** —
+one or more per scenario-catalog entry — each pinning a scenario, the seeds
+to replay, the replay shape (measurement count, duration, the usage ladder
+of configuration variants) and the **expected metric envelopes** the gate
+enforces.  The registry lives in ``cases.yaml`` next to this module; its
+format is a restricted YAML subset parsed by :func:`parse_cases_yaml` so
+the harness works without a YAML dependency (the container images this
+repo targets ship NumPy/SciPy only).
+
+Restricted YAML subset
+    * two-space indentation, mappings as ``key: value``;
+    * lists of mappings as ``- key: value`` items (continuation lines
+      indented two further spaces);
+    * inline scalar lists as ``[a, b, c]``;
+    * scalars: integers, floats, booleans (``true``/``false``), bare or
+      quoted strings;
+    * full-line ``#`` comments and blank lines are ignored.
+
+Top-level keys are ``defaults`` (field values shared by every case) and
+``cases`` (the list of case mappings).  Every case must name a registered
+catalog scenario, carry at least one seed, and bound at least one metric;
+see ``docs/evaluation.md`` for the schema and envelope-derivation rules.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable
+
+__all__ = [
+    "DEFAULT_CASES_PATH",
+    "Envelope",
+    "EvalCase",
+    "EvalDatasetError",
+    "load_cases",
+    "parse_cases_yaml",
+]
+
+#: The checked-in registry of replay cases, shipped with the package.
+DEFAULT_CASES_PATH = Path(__file__).resolve().parent / "cases.yaml"
+
+#: Metric names scorers may produce and envelopes may bound (see scorers.py).
+METRIC_NAMES: tuple[str, ...] = (
+    "latency_p95_ms",
+    "sla_violation_rate",
+    "avg_usage_regret",
+    "avg_qoe_regret",
+    "sim_real_symmetric_kl",
+)
+
+
+class EvalDatasetError(ValueError):
+    """Raised when the case registry is malformed or inconsistent."""
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Inclusive ``[lo, hi]`` bound one scored metric must stay within."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        """Validate that the bound is a well-ordered finite interval."""
+        if not (math.isfinite(self.lo) and math.isfinite(self.hi)):
+            raise EvalDatasetError(f"envelope bounds must be finite, got [{self.lo}, {self.hi}]")
+        if self.lo > self.hi:
+            raise EvalDatasetError(f"envelope lo {self.lo} exceeds hi {self.hi}")
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` falls inside the envelope (NaN never does)."""
+        return math.isfinite(value) and self.lo <= value <= self.hi
+
+    def as_dict(self) -> dict[str, float]:
+        """The bound as a plain dictionary (for the report)."""
+        return {"lo": self.lo, "hi": self.hi}
+
+
+@dataclass(frozen=True)
+class EvalCase:
+    """One replay case: scenario × seeds × replay shape × expected envelopes.
+
+    Attributes
+    ----------
+    group:
+        Report/run-layout grouping (``static``, ``dynamic``,
+        ``multislice`` ... free-form).
+    scenario:
+        Name of a registered scenario-catalog entry.
+    seeds:
+        Base seeds to replay; every seed produces one run directory and one
+        per-seed metric vector, and the case-level metric is the mean.
+    measurements:
+        Repeated measurements per configuration variant (trace-driven
+        scenarios replay ``traffic_at(step)`` for ``step`` in this range).
+    duration_s:
+        Simulated seconds per measurement.
+    usage_ladder:
+        Scale factors applied to the deployed configuration's contended
+        dimensions; the resulting variants give the regret scorers a
+        usage/QoE series to rank.  Must include ``1.0`` (the deployed
+        configuration anchors the fidelity and KL scorers).
+    envelopes:
+        Metric name → :class:`Envelope`; the gate fails the case when a
+        scored value leaves its envelope.
+    """
+
+    group: str
+    scenario: str
+    seeds: tuple[int, ...] = (0, 1)
+    measurements: int = 3
+    duration_s: float = 6.0
+    usage_ladder: tuple[float, ...] = (0.85, 1.0, 1.25)
+    envelopes: dict[str, Envelope] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        """Validate the replay shape and the envelope names."""
+        if not self.group or not self.scenario:
+            raise EvalDatasetError("case group and scenario must be non-empty")
+        if not self.seeds:
+            raise EvalDatasetError(f"case {self.case_id!r} must replay at least one seed")
+        if self.measurements < 1:
+            raise EvalDatasetError(f"case {self.case_id!r} needs measurements >= 1")
+        if self.duration_s <= 0:
+            raise EvalDatasetError(f"case {self.case_id!r} needs a positive duration_s")
+        if not self.usage_ladder or 1.0 not in self.usage_ladder:
+            raise EvalDatasetError(
+                f"case {self.case_id!r} usage_ladder must include the deployed factor 1.0"
+            )
+        if not self.envelopes:
+            raise EvalDatasetError(f"case {self.case_id!r} must bound at least one metric")
+        for name in self.envelopes:
+            if name not in METRIC_NAMES:
+                raise EvalDatasetError(
+                    f"case {self.case_id!r} bounds unknown metric {name!r}; "
+                    f"known metrics: {', '.join(METRIC_NAMES)}"
+                )
+
+    @property
+    def case_id(self) -> str:
+        """Stable identifier used in the run layout and the report."""
+        return f"{self.group}/{self.scenario}"
+
+    def replace(self, **changes) -> "EvalCase":
+        """Return a copy with some fields replaced (tests derive variants)."""
+        return replace(self, **changes)
+
+
+# ------------------------------------------------------------ mini-YAML parse
+def _parse_scalar(token: str):
+    token = token.strip()
+    if token.startswith("[") and token.endswith("]"):
+        inner = token[1:-1].strip()
+        if not inner:
+            return []
+        return [_parse_scalar(part) for part in inner.split(",")]
+    if len(token) >= 2 and token[0] in "'\"" and token[-1] == token[0]:
+        return token[1:-1]
+    if token in ("true", "True"):
+        return True
+    if token in ("false", "False"):
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+def _significant_lines(text: str) -> list[tuple[int, str]]:
+    lines: list[tuple[int, str]] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        leading = raw[: len(raw) - len(raw.lstrip())]
+        indent = len(raw) - len(raw.lstrip(" "))
+        if "\t" in leading or indent % 2:
+            raise EvalDatasetError(
+                f"cases.yaml line {number}: indentation must be an even number of spaces"
+            )
+        lines.append((indent, stripped))
+    return lines
+
+
+def _parse_block(lines: list[tuple[int, str]], start: int, indent: int):
+    """Parse one mapping or list starting at ``start`` with exactly ``indent``."""
+    if start >= len(lines) or lines[start][0] != indent:
+        raise EvalDatasetError(f"cases.yaml: expected a block indented {indent} spaces")
+    if lines[start][1].startswith("- "):
+        return _parse_list(lines, start, indent)
+    return _parse_mapping(lines, start, indent)
+
+
+def _parse_mapping(lines: list[tuple[int, str]], start: int, indent: int):
+    mapping: dict = {}
+    index = start
+    while index < len(lines) and lines[index][0] == indent:
+        content = lines[index][1]
+        if content.startswith("- "):
+            break
+        if ":" not in content:
+            raise EvalDatasetError(f"cases.yaml: expected 'key: value', got {content!r}")
+        key, _, value = content.partition(":")
+        key = key.strip()
+        if key in mapping:
+            raise EvalDatasetError(f"cases.yaml: duplicate key {key!r}")
+        value = value.strip()
+        if value:
+            mapping[key] = _parse_scalar(value)
+            index += 1
+        else:
+            nested, index = _parse_block(lines, index + 1, indent + 2)
+            mapping[key] = nested
+    return mapping, index
+
+
+def _parse_list(lines: list[tuple[int, str]], start: int, indent: int):
+    items: list = []
+    index = start
+    while index < len(lines) and lines[index][0] == indent and lines[index][1].startswith("- "):
+        head = lines[index][1][2:].strip()
+        if ":" not in head:
+            items.append(_parse_scalar(head))
+            index += 1
+            continue
+        # A mapping item: re-feed the head line as if indented two deeper,
+        # then absorb the continuation lines at that depth.
+        item_lines = [(indent + 2, head)]
+        index += 1
+        while index < len(lines) and lines[index][0] >= indent + 2:
+            item_lines.append(lines[index])
+            index += 1
+        item, consumed = _parse_mapping(item_lines, 0, indent + 2)
+        if consumed != len(item_lines):
+            raise EvalDatasetError("cases.yaml: malformed list item (inconsistent indentation)")
+        items.append(item)
+    return items, index
+
+
+def parse_cases_yaml(text: str) -> dict:
+    """Parse the restricted YAML subset of the case registry into a dict."""
+    lines = _significant_lines(text)
+    if not lines:
+        return {}
+    document, consumed = _parse_mapping(lines, 0, 0)
+    if consumed != len(lines):
+        indent, content = lines[consumed]
+        raise EvalDatasetError(
+            f"cases.yaml: unexpected content {content!r} at indentation {indent}"
+        )
+    return document
+
+
+# ------------------------------------------------------------------- loading
+_CASE_FIELDS = {
+    "group",
+    "scenario",
+    "seeds",
+    "measurements",
+    "duration_s",
+    "usage_ladder",
+    "envelopes",
+}
+
+
+def _build_case(raw: dict, defaults: dict) -> EvalCase:
+    merged = {**defaults, **raw}
+    unknown = set(merged) - _CASE_FIELDS
+    if unknown:
+        raise EvalDatasetError(
+            f"case {merged.get('group')}/{merged.get('scenario')}: "
+            f"unknown fields {sorted(unknown)}"
+        )
+    for required in ("group", "scenario", "envelopes"):
+        if required not in merged:
+            raise EvalDatasetError(f"case is missing required field {required!r}: {raw}")
+    envelopes_raw = merged["envelopes"]
+    if not isinstance(envelopes_raw, dict):
+        raise EvalDatasetError(f"case envelopes must be a mapping, got {envelopes_raw!r}")
+    envelopes = {}
+    for name, bound in envelopes_raw.items():
+        if not (isinstance(bound, list) and len(bound) == 2):
+            raise EvalDatasetError(
+                f"envelope {name!r} must be a two-element [lo, hi] list, got {bound!r}"
+            )
+        envelopes[name] = Envelope(lo=float(bound[0]), hi=float(bound[1]))
+    return EvalCase(
+        group=str(merged["group"]),
+        scenario=str(merged["scenario"]),
+        seeds=tuple(int(seed) for seed in merged.get("seeds", EvalCase.seeds)),
+        measurements=int(merged.get("measurements", EvalCase.measurements)),
+        duration_s=float(merged.get("duration_s", EvalCase.duration_s)),
+        usage_ladder=tuple(
+            float(factor) for factor in merged.get("usage_ladder", EvalCase.usage_ladder)
+        ),
+        envelopes=envelopes,
+    )
+
+
+def load_cases(
+    path: str | Path | None = None,
+    group: str | None = None,
+    scenario: str | None = None,
+) -> tuple[EvalCase, ...]:
+    """Load (and optionally filter) the replay-case registry.
+
+    Parameters
+    ----------
+    path:
+        Registry file; defaults to the checked-in :data:`DEFAULT_CASES_PATH`.
+    group, scenario:
+        Optional exact-match filters.  Filtering that matches nothing raises
+        :class:`EvalDatasetError` naming what *is* registered, so a typo in
+        ``--group``/``--scenario`` fails loudly instead of silently gating
+        nothing.
+    """
+    registry_path = Path(path) if path is not None else DEFAULT_CASES_PATH
+    document = parse_cases_yaml(registry_path.read_text())
+    defaults = document.get("defaults", {})
+    raw_cases = document.get("cases", [])
+    if not isinstance(raw_cases, list) or not raw_cases:
+        raise EvalDatasetError(f"{registry_path}: registry must define a non-empty 'cases' list")
+    cases = [_build_case(raw, defaults) for raw in raw_cases]
+    seen: set[str] = set()
+    for case in cases:
+        if case.case_id in seen:
+            raise EvalDatasetError(f"duplicate case id {case.case_id!r} in {registry_path}")
+        seen.add(case.case_id)
+    if group is not None:
+        cases = [case for case in cases if case.group == group]
+        if not cases:
+            raise EvalDatasetError(
+                f"no cases in group {group!r}; registered groups: "
+                f"{', '.join(sorted({c.group for c in _all_cases(registry_path)}))}"
+            )
+    if scenario is not None:
+        cases = [case for case in cases if case.scenario == scenario]
+        if not cases:
+            raise EvalDatasetError(
+                f"no cases for scenario {scenario!r}; covered scenarios: "
+                f"{', '.join(sorted({c.scenario for c in _all_cases(registry_path)}))}"
+            )
+    return tuple(cases)
+
+
+def _all_cases(path: Path) -> Iterable[EvalCase]:
+    document = parse_cases_yaml(path.read_text())
+    defaults = document.get("defaults", {})
+    return [_build_case(raw, defaults) for raw in document.get("cases", [])]

@@ -19,10 +19,15 @@ def qoe_from_latencies(latencies, threshold_ms: float) -> float:
 
     Frames that were dropped (represented either as ``nan`` or ``inf``) count
     against the QoE, exactly as an SLA violation would in the testbed.
-    An empty collection means the slice delivered nothing, hence QoE 0.
+    Degenerate inputs have defined values rather than warnings or NaN
+    propagation: an empty collection means the slice delivered nothing,
+    hence QoE ``0.0``, and an all-NaN/all-``inf`` collection (every frame
+    dropped) likewise scores ``0.0``.  A non-finite or non-positive
+    ``threshold_ms`` raises :class:`ValueError` — an SLA without a real
+    threshold is a configuration error, not a measurement outcome.
     """
-    if threshold_ms <= 0:
-        raise ValueError(f"threshold_ms must be positive, got {threshold_ms}")
+    if not np.isfinite(threshold_ms) or threshold_ms <= 0:
+        raise ValueError(f"threshold_ms must be positive and finite, got {threshold_ms}")
     arr = np.asarray(latencies, dtype=float).ravel()
     if arr.size == 0:
         return 0.0

@@ -28,7 +28,13 @@ __all__ = [
 
 
 def cumulative_usage_regret(usages, optimal_usage: float) -> np.ndarray:
-    """Cumulative resource-usage regret ``g_u(n)`` for every iteration ``n``."""
+    """Cumulative resource-usage regret ``g_u(n)`` for every iteration ``n``.
+
+    Degenerate inputs are defined: an empty series returns an empty array
+    (and the ``average_*`` counterparts return ``0.0`` — no iterations, no
+    regret), and a zero-optimal baseline (``optimal_usage=0.0``) is simply
+    the cumulative sum of the raw usages, not an error.
+    """
     arr = np.asarray(usages, dtype=float).ravel()
     if arr.size == 0:
         return np.zeros(0)
@@ -88,20 +94,32 @@ class RegretTracker:
         """Use the best *feasible* recorded iteration as the hindsight optimum.
 
         Feasible means the QoE requirement (if one is set) was met; if no
-        iteration is feasible, the iteration with the highest QoE is used.
+        iteration is feasible, the finite iteration with the highest QoE is
+        used.  Iterations with non-finite usage or QoE (crashed or dropped
+        measurements) are never selected as the optimum; deriving an optimum
+        from an empty tracker, or one holding only non-finite records,
+        raises :class:`ValueError` — there is no hindsight baseline to
+        regret against.
         """
         if not self.usages:
             raise ValueError("cannot derive an optimum from an empty tracker")
         usages = np.asarray(self.usages)
         qoes = np.asarray(self.qoes)
+        finite = np.isfinite(usages) & np.isfinite(qoes)
+        if not finite.any():
+            raise ValueError(
+                "cannot derive an optimum: every recorded iteration has "
+                "non-finite usage or QoE"
+            )
         if self.qoe_requirement is not None:
-            feasible = qoes >= self.qoe_requirement
+            feasible = finite & (qoes >= self.qoe_requirement)
         else:
-            feasible = np.ones_like(qoes, dtype=bool)
+            feasible = finite
         if feasible.any():
             idx = int(np.flatnonzero(feasible)[np.argmin(usages[feasible])])
         else:
-            idx = int(np.argmax(qoes))
+            candidates = np.flatnonzero(finite)
+            idx = int(candidates[np.argmax(qoes[candidates])])
         self.optimal_usage = float(usages[idx])
         self.optimal_qoe = float(qoes[idx])
 

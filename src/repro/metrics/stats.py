@@ -57,7 +57,16 @@ class LatencySummary:
 
 
 def summarize_latencies(samples) -> LatencySummary:
-    """Summarise a latency collection, tracking dropped frames separately."""
+    """Summarise a latency collection, tracking dropped frames separately.
+
+    Degenerate collections return defined values without numpy warnings: an
+    empty or all-non-finite collection (nothing delivered) yields
+    ``count=0`` with every statistic ``nan`` — the truthful "no data"
+    summary, which downstream envelopes treat as a failure because no
+    finite bound contains NaN — and ``drop_rate`` is ``1.0`` when frames
+    were generated but none delivered, ``0.0`` when nothing was generated
+    at all.
+    """
     arr = np.asarray(samples, dtype=float).ravel()
     total = arr.size
     delivered = arr[np.isfinite(arr)]

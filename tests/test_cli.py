@@ -155,3 +155,153 @@ class TestRun:
         )
         assert code == 0
         assert "ATLAS_ENGINE_EXECUTOR" not in os.environ
+
+
+SMALL_REGISTRY = """\
+defaults:
+  seeds: [0]
+  measurements: 2
+  duration_s: 3.0
+  usage_ladder: [0.9, 1.0]
+cases:
+  - group: test
+    scenario: urllc-control
+    envelopes:
+      latency_p95_ms: [0, 100000]
+      sla_violation_rate: [0, 1]
+      avg_usage_regret: [-10, 10]
+      avg_qoe_regret: [-10, 10]
+      sim_real_symmetric_kl: [0, 1000]
+"""
+
+
+class TestEval:
+    """The `eval` subcommand: report, run layout, gate exit codes."""
+
+    def write_registry(self, tmp_path, text=SMALL_REGISTRY):
+        registry = tmp_path / "cases.yaml"
+        registry.write_text(text)
+        return registry
+
+    def test_eval_writes_report_and_layout(self, capsys, tmp_path):
+        registry = self.write_registry(tmp_path)
+        out = tmp_path / "eval_out"
+        code, text = run_cli(
+            capsys,
+            "eval",
+            "--cases",
+            str(registry),
+            "--group",
+            "test",
+            "--out",
+            str(out),
+            "--no-determinism",
+        )
+        assert code == 0
+        assert "[PASS] test/urllc-control" in text
+        assert "gate: PASS" in text
+        report = json.loads((out / "EVAL_report.json").read_text())
+        assert report["schema"] == "atlas-eval/1"
+        assert (out / "test" / "urllc-control" / "seed=0" / "result.json").exists()
+        assert (out / "test" / "urllc-control" / "seed=0" / "events.jsonl").exists()
+
+    def test_eval_json_prints_the_report(self, capsys, tmp_path):
+        registry = self.write_registry(tmp_path)
+        code, text = run_cli(
+            capsys,
+            "eval",
+            "--cases",
+            str(registry),
+            "--group",
+            "test",
+            "--out",
+            str(tmp_path / "out"),
+            "--no-determinism",
+            "--json",
+        )
+        assert code == 0
+        report = json.loads(text)
+        assert report["schema"] == "atlas-eval/1"
+        assert report["gate"]["passed"] is True
+
+    def test_eval_gate_failure_exits_1(self, capsys, tmp_path):
+        registry = self.write_registry(
+            tmp_path,
+            SMALL_REGISTRY.replace("latency_p95_ms: [0, 100000]", "latency_p95_ms: [0, 0.001]"),
+        )
+        code, text = run_cli(
+            capsys,
+            "eval",
+            "--cases",
+            str(registry),
+            "--group",
+            "test",
+            "--out",
+            str(tmp_path / "out"),
+            "--no-determinism",
+        )
+        assert code == 1
+        assert "BREACH" in text
+        assert "gate: FAIL" in text
+
+    def test_eval_seeds_override(self, capsys, tmp_path):
+        registry = self.write_registry(tmp_path)
+        out = tmp_path / "out"
+        code, _ = run_cli(
+            capsys,
+            "eval",
+            "--cases",
+            str(registry),
+            "--group",
+            "test",
+            "--out",
+            str(out),
+            "--seeds",
+            "5",
+            "--no-determinism",
+        )
+        assert code == 0
+        assert (out / "test" / "urllc-control" / "seed=5" / "result.json").exists()
+
+    def test_eval_unknown_scenario_filter_exits_2(self, capsys, tmp_path):
+        registry = self.write_registry(tmp_path)
+        code = main(
+            [
+                "eval",
+                "--cases",
+                str(registry),
+                "--scenario",
+                "not-a-scenario",
+                "--out",
+                str(tmp_path / "out"),
+                "--no-determinism",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "not-a-scenario" in captured.err
+
+    def test_eval_executor_flag_is_recorded_but_metric_neutral(self, capsys, tmp_path):
+        registry = self.write_registry(tmp_path)
+        reports = {}
+        for kind in ("serial", "sharded"):
+            out = tmp_path / f"out-{kind}"
+            code, _ = run_cli(
+                capsys,
+                "eval",
+                "--cases",
+                str(registry),
+                "--group",
+                "test",
+                "--out",
+                str(out),
+                "--executor",
+                kind,
+                "--no-determinism",
+            )
+            assert code == 0
+            reports[kind] = json.loads((out / "EVAL_report.json").read_text())
+        assert reports["serial"]["provenance"]["executor"]["requested"] == "serial"
+        assert reports["sharded"]["provenance"]["executor"]["requested"] == "sharded"
+        # The numerics pin makes the results section executor-independent.
+        assert reports["serial"]["results"] == reports["sharded"]["results"]

@@ -101,3 +101,27 @@ class TestSymmetricAndJS:
     def test_jensen_shannon_zero_for_identical(self):
         samples = np.linspace(0.0, 100.0, 500)
         assert jensen_shannon_divergence(samples, samples) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestKLDegenerateInputs:
+    """Empty collections raise errors naming the offending side."""
+
+    def test_empty_p_collection_names_p_samples(self):
+        with pytest.raises(ValueError, match="p_samples"):
+            histogram_kl_divergence([], [1.0, 2.0])
+
+    def test_empty_q_collection_names_q_samples(self):
+        with pytest.raises(ValueError, match="q_samples"):
+            histogram_kl_divergence([1.0, 2.0], [])
+
+    def test_all_nan_collection_raises_like_empty(self):
+        with pytest.raises(ValueError, match="p_samples"):
+            symmetric_kl_divergence([np.nan, np.nan], [1.0, 2.0])
+
+    def test_jensen_shannon_empty_collection_raises(self):
+        with pytest.raises(ValueError, match="q_samples"):
+            jensen_shannon_divergence([1.0], [np.inf])
+
+    def test_identical_degenerate_point_mass_is_zero(self):
+        # All samples identical: degenerate support, still defined (zero).
+        assert symmetric_kl_divergence([5.0, 5.0], [5.0, 5.0]) == pytest.approx(0.0, abs=1e-6)

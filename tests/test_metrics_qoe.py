@@ -72,3 +72,28 @@ class TestResourceUsage:
         lean = SliceConfig(bandwidth_ul=5, bandwidth_dl=5, backhaul_bw=5, cpu_ratio=0.2)
         rich = SliceConfig(bandwidth_ul=40, bandwidth_dl=40, backhaul_bw=80, cpu_ratio=0.9)
         assert rich.resource_usage() > lean.resource_usage()
+
+
+class TestQoEDegenerateInputs:
+    """Empty / all-dropped collections and bad thresholds are defined."""
+
+    def test_all_nan_collection_scores_zero(self):
+        assert qoe_from_latencies([np.nan, np.nan], 300.0) == 0.0
+
+    def test_all_inf_collection_scores_zero(self):
+        assert qoe_from_latencies([np.inf, np.inf, np.inf], 300.0) == 0.0
+
+    def test_empty_collection_scores_zero_without_warnings(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert qoe_from_latencies([], 300.0) == 0.0
+
+    def test_nan_threshold_raises(self):
+        with pytest.raises(ValueError, match="threshold_ms"):
+            qoe_from_latencies([100.0], float("nan"))
+
+    def test_inf_threshold_raises(self):
+        with pytest.raises(ValueError, match="threshold_ms"):
+            qoe_from_latencies([100.0], float("inf"))

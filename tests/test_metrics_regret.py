@@ -96,3 +96,45 @@ class TestRegretTracker:
         tracker.record(0.3, 0.8)
         assert tracker.average_usage_regret() == pytest.approx(0.1)
         assert tracker.average_qoe_regret() == pytest.approx(0.1)
+
+
+class TestRegretDegenerateInputs:
+    """Zero-optimal baselines and non-finite records have defined behaviour."""
+
+    def test_zero_optimal_baseline_is_defined(self):
+        usages = [0.2, 0.4]
+        assert average_usage_regret(usages, optimal_usage=0.0) == pytest.approx(0.3)
+        assert cumulative_usage_regret(usages, optimal_usage=0.0).tolist() == [
+            pytest.approx(0.2),
+            pytest.approx(0.6),
+        ]
+
+    def test_empty_series_average_regret_is_zero(self):
+        assert average_usage_regret([], optimal_usage=0.0) == 0.0
+        assert average_qoe_regret([], optimal_qoe=1.0) == 0.0
+
+    def test_empty_series_cumulative_regret_is_empty(self):
+        assert cumulative_usage_regret([], optimal_usage=0.5).size == 0
+        assert cumulative_qoe_regret([], optimal_qoe=1.0).size == 0
+
+    def test_set_optimum_skips_non_finite_records(self):
+        tracker = RegretTracker()
+        tracker.record(float("nan"), 0.9)   # crashed measurement: never optimal
+        tracker.record(0.1, float("inf"))   # corrupt QoE: never optimal
+        tracker.record(0.4, 0.8)
+        tracker.set_optimum_from_best()
+        assert tracker.optimal_usage == pytest.approx(0.4)
+        assert tracker.optimal_qoe == pytest.approx(0.8)
+
+    def test_set_optimum_fallback_ignores_non_finite_qoe(self):
+        tracker = RegretTracker(qoe_requirement=0.99)  # nothing feasible
+        tracker.record(0.2, float("nan"))
+        tracker.record(0.3, 0.5)
+        tracker.set_optimum_from_best()
+        assert tracker.optimal_qoe == pytest.approx(0.5)
+
+    def test_set_optimum_with_only_non_finite_records_raises(self):
+        tracker = RegretTracker()
+        tracker.record(float("nan"), float("nan"))
+        with pytest.raises(ValueError, match="non-finite"):
+            tracker.set_optimum_from_best()

@@ -1,5 +1,7 @@
 """Tests for the latency summary statistics and empirical CDF helpers."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -64,3 +66,32 @@ class TestSummarizeLatencies:
         assert payload["count"] == 2
         assert payload["mean"] == pytest.approx(100.0)
         assert set(payload) >= {"mean", "std", "median", "p90", "p95", "p99", "min", "max"}
+
+
+class TestDegenerateCollections:
+    """Empty / all-dropped collections return defined values, never warnings."""
+
+    def test_empty_collection_emits_no_warnings(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            summary = summarize_latencies([])
+        assert summary.count == 0
+        for name in ("mean", "std", "median", "p90", "p95", "p99", "min", "max"):
+            assert np.isnan(summary.as_dict()[name])
+
+    def test_all_nan_collection_emits_no_warnings(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            summary = summarize_latencies([np.nan, np.nan, np.nan])
+        assert summary.count == 0
+        assert summary.drop_rate == 1.0
+        assert np.isnan(summary.p95)
+
+    def test_empirical_cdf_of_empty_collection_is_empty(self):
+        values, probabilities = empirical_cdf([])
+        assert values.size == 0 and probabilities.size == 0
+
+    def test_empirical_cdf_drops_non_finite(self):
+        values, probabilities = empirical_cdf([np.nan, 10.0, np.inf])
+        assert values.tolist() == [10.0]
+        assert probabilities.tolist() == [1.0]
