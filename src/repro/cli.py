@@ -15,7 +15,11 @@ Four subcommands cover the catalog workflow:
     kinds; ``auto`` — the default — picks per batch).  Multi-slice entries
     measure all slices concurrently under resource contention before and
     after optimisation; dynamic entries replay their traffic trace during
-    online learning.
+    online learning.  On hostile entries ``--faults guarded`` runs stage 3
+    under the :mod:`repro.core.watchdog` safe-mode watchdog with the
+    scenario's fault schedule injected, and ``--faults unprotected`` runs
+    the bare learner through the same faults for comparison — see
+    ``docs/robustness.md``.
 ``eval``
     Replay the curated evaluation dataset over the whole catalog, score
     every run with the :mod:`repro.metrics` scorers, write the structured
@@ -220,6 +224,71 @@ def _stage3(
     }
 
 
+def _stage3_faulted(
+    workload: SliceWorkload,
+    spec: ScenarioSpec,
+    scale: ExperimentScale,
+    duration: float,
+    seed: int,
+    offline: dict,
+    mode: str,
+) -> dict:
+    """Run the fault-injected online episode (stage 3 under ``--faults``).
+
+    The whole episode runs as one step-indexed chaos run at the workload's
+    representative traffic level — the fault schedule, not the trace
+    segmentation, owns the timeline.  ``guarded`` supervises the learner
+    with the watchdog (safe-mode fallback to the deployed configuration);
+    ``unprotected`` is the control arm that learns straight through every
+    fault window.
+    """
+    from repro.core.watchdog import OnlineWatchdog, run_unprotected
+
+    learner = OnlineConfigurationLearner(
+        offline_policy=offline["_policy"],
+        simulator=offline["_simulator"],
+        real_network=workload.make_real_network(seed=seed + 1),
+        sla=workload.sla,
+        traffic=workload.mean_traffic(),
+        config=OnlineLearningConfig(
+            iterations=scale.stage3_iterations,
+            offline_queries_per_step=scale.stage3_offline_queries,
+            candidate_pool=scale.stage3_candidate_pool,
+            measurement_duration_s=duration,
+            simulator_duration_s=max(duration / 2.0, 5.0),
+            seed=seed,
+        ),
+    )
+    if mode == "guarded":
+        guarded = OnlineWatchdog(
+            learner,
+            fault_schedule=spec.faults,
+            fallback_config=workload.deployed_config,
+        ).run()
+        summary = guarded.summary()
+        print(
+            f"  stage 3 (faults: guarded): {summary['steps']} steps, "
+            f"violation rate {summary['sla_violation_rate']:.3f}, "
+            f"safe-mode entries {summary['safe_mode_entries']}, "
+            f"recoveries {summary['recoveries']}, dropped {summary['dropped_steps']}, "
+            f"final mode {summary['final_mode']}"
+        )
+        return {"faults": "guarded", "watchdog": summary}
+    result = run_unprotected(learner, spec.faults)
+    rate = result.sla_violation_rate()
+    violations = sum(1 for record in result.history if not record.sla_met)
+    print(
+        f"  stage 3 (faults: unprotected): {len(result.history)} steps, "
+        f"violation rate {rate:.3f} ({violations}/{len(result.history)})"
+    )
+    return {
+        "faults": "unprotected",
+        "steps": len(result.history),
+        "sla_violations": violations,
+        "sla_violation_rate": rate,
+    }
+
+
 def _run_workload(
     workload: SliceWorkload,
     spec: ScenarioSpec,
@@ -227,6 +296,7 @@ def _run_workload(
     scale: ExperimentScale,
     duration: float,
     seed: int,
+    faults: str = "off",
 ) -> dict:
     """Run the requested stages for one slice workload and return its summary."""
     print(
@@ -245,7 +315,12 @@ def _run_workload(
         if offline is None:
             print("  stage 3: training prerequisite offline policy first")
             offline = _stage2(workload, scale, duration, seed, params=params, announce=False)
-        summary["stage3"] = _stage3(workload, scale, duration, seed, offline)
+        if faults != "off":
+            summary["stage3"] = _stage3_faulted(
+                workload, spec, scale, duration, seed, offline, faults
+            )
+        else:
+            summary["stage3"] = _stage3(workload, scale, duration, seed, offline)
     return summary
 
 
@@ -306,6 +381,20 @@ def cmd_run(args: argparse.Namespace) -> int:
     scale = get_scale(args.scale)
     duration = args.duration if args.duration is not None else scale.measurement_duration_s
     stages = {"1", "2", "3"} if args.stage == "all" else {args.stage}
+    if args.faults != "off":
+        if spec.faults is None:
+            print(
+                f"error: scenario {spec.name!r} has no fault schedule; "
+                "--faults needs a hostile catalog entry (tag 'hostile')",
+                file=sys.stderr,
+            )
+            return 2
+        if "3" not in stages:
+            print("error: --faults applies to stage 3 (use --stage 3 or all)", file=sys.stderr)
+            return 2
+        if spec.is_multislice:
+            print("error: --faults does not support multi-slice scenarios", file=sys.stderr)
+            return 2
     previous_executor = os.environ.get(EXECUTOR_ENV_VAR)
     if args.executor is not None:
         os.environ[EXECUTOR_ENV_VAR] = args.executor
@@ -330,7 +419,9 @@ def cmd_run(args: argparse.Namespace) -> int:
             _print_multislice_round(before, "contended round (deployed configurations):")
         for workload in spec.slices:
             summary["slices"].append(
-                _run_workload(workload, spec, stages, scale, duration, seed=args.seed)
+                _run_workload(
+                    workload, spec, stages, scale, duration, seed=args.seed, faults=args.faults
+                )
             )
         # An "optimised" contended round only makes sense when a stage that
         # produces configurations actually ran; stage 1 alone learns
@@ -455,6 +546,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.add_argument("--seed", type=int, default=0, help="base random seed (default: 0)")
+    run_parser.add_argument(
+        "--faults",
+        choices=("off", "guarded", "unprotected"),
+        default="off",
+        help=(
+            "inject the scenario's fault schedule into stage 3 (hostile catalog entries "
+            "only): 'guarded' runs the learner under the watchdog, 'unprotected' runs it "
+            "bare (default: off)"
+        ),
+    )
     run_parser.add_argument(
         "--duration",
         type=float,

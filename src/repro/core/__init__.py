@@ -35,6 +35,13 @@ from repro.core.online_learning import (
 )
 from repro.core.penalty import AdaptiveMultiplier
 from repro.core.policy import OfflinePolicy, OnlinePolicy, build_features
+from repro.core.watchdog import (
+    GuardedOnlineResult,
+    OnlineWatchdog,
+    RecoveryLedger,
+    WatchdogConfig,
+    run_unprotected,
+)
 from repro.core.simulator_learning import (
     ParameterSearchConfig,
     ParameterSearchResult,
@@ -61,6 +68,11 @@ __all__ = [
     "OnlineConfigurationLearner",
     "OnlineLearningConfig",
     "OnlineLearningResult",
+    "OnlineWatchdog",
+    "WatchdogConfig",
+    "GuardedOnlineResult",
+    "RecoveryLedger",
+    "run_unprotected",
     "expected_improvement",
     "probability_of_improvement",
     "upper_confidence_bound",

@@ -221,6 +221,10 @@ class OnlineConfigurationLearner:
         # The "BNN-Cont'd" ablation keeps training the offline BNN on real QoE.
         self._contd_inputs: list[np.ndarray] = []
         self._contd_targets: list[float] = []
+        self._tracker = RegretTracker(qoe_requirement=self.sla.availability)
+        #: Raw result of the most recent real-network measurement; watchdogs
+        #: inspect it for stale telemetry the QoE scalar cannot express.
+        self.last_measurement = None
 
     # ------------------------------------------------------------------ models
     def _build_residual_model(self):
@@ -314,8 +318,15 @@ class OnlineConfigurationLearner:
             )
 
     # ----------------------------------------------------------------- fitting
-    def _update_residual(self, action: SliceConfig, real_qoe: float) -> float:
-        """Observe the sim-to-real difference at ``action`` and refit the residual model."""
+    def observe_residual(
+        self, action: SliceConfig, real_qoe: float, traffic: int | None = None
+    ) -> float:
+        """Observe the sim-to-real difference at ``action`` and refit the residual model.
+
+        ``traffic`` overrides the learner's base level so callers (the
+        watchdog's recovery ledger) can fold fault-window telemetry back in
+        at the traffic the measurement actually experienced.
+        """
         normalized = self.space.normalize(action.to_array())[0]
         if self.config.residual_model == "bnn_contd":
             # Continue training the offline BNN on the real QoE directly.
@@ -331,7 +342,7 @@ class OnlineConfigurationLearner:
         self._evaluation_counter += 1
         simulator_result = self.engine.run(
             action,
-            traffic=self.traffic,
+            traffic=self.traffic if traffic is None else int(traffic),
             duration=self.config.simulator_duration_s,
             seed=20_000 + self._evaluation_counter,
         )
@@ -342,51 +353,86 @@ class OnlineConfigurationLearner:
         self._residual.fit(np.array(self._residual_inputs), np.array(self._residual_targets))
         return residual
 
+    # Backwards-compatible internal alias.
+    _update_residual = observe_residual
+
+    def drop_residual_observations(self, count: int) -> int:
+        """Discard the most recent residual observations and refit.
+
+        The watchdog's fault-window rollback: observations taken while the
+        network was lying (storm traffic, dropped telemetry scored as zero
+        QoE) would poison the discrepancy model, so safe-mode entry unwinds
+        them.  Returns how many observations were actually dropped.
+        """
+        count = min(int(count), len(self._residual_targets))
+        if count <= 0:
+            return 0
+        del self._residual_inputs[-count:]
+        del self._residual_targets[-count:]
+        if self._residual_inputs:
+            self._residual.fit(np.array(self._residual_inputs), np.array(self._residual_targets))
+        else:
+            self._residual = self._build_residual_model()
+        return count
+
     # --------------------------------------------------------------------- run
+    def step(self, iteration: int) -> OnlineIterationRecord:
+        """Execute one online iteration (Alg. 3 body) and return its record.
+
+        ``run()`` is just this in a loop; watchdogs drive it step by step so
+        they can interpose safe-mode fallback between iterations.  The raw
+        measurement lands in :attr:`last_measurement`.
+        """
+        self._accelerate_multiplier()
+
+        if iteration == 1:
+            # The very first online action is the best offline configuration.
+            action = self.offline_policy.best_config
+            predicted_qoe = self.offline_policy.best_qoe
+            beta = 0.0
+        else:
+            action, predicted_qoe, beta = self._select_action(iteration)
+
+        result = self.real_engine.run(
+            action,
+            traffic=self.traffic,
+            duration=self.config.measurement_duration_s,
+            seed=iteration,
+        )
+        self.last_measurement = result
+        real_qoe = result.qoe(self.sla.latency_threshold_ms)
+        usage = action.resource_usage()
+        residual = self.observe_residual(action, real_qoe)
+        self.multiplier.update(real_qoe, self.sla.availability)
+
+        self._tracker.record(usage, real_qoe)
+        record = OnlineIterationRecord(
+            iteration=iteration,
+            config=tuple(action.to_array()),
+            resource_usage=usage,
+            qoe=real_qoe,
+            predicted_qoe=predicted_qoe,
+            residual=residual,
+            multiplier=self.multiplier.value,
+            beta=beta,
+            sla_met=self.sla.is_satisfied_by(real_qoe),
+        )
+        self._records.append(record)
+        return record
+
+    def finalize(self) -> OnlineLearningResult:
+        """Close the episode: fix the regret optimum and build the online policy."""
+        self._tracker.set_optimum_from_best()
+        policy = self._build_policy()
+        return OnlineLearningResult(
+            policy=policy, history=list(self._records), regret=self._tracker
+        )
+
     def run(self) -> OnlineLearningResult:
         """Execute the online learning and return the learned online policy."""
-        tracker = RegretTracker(qoe_requirement=self.sla.availability)
-
         for iteration in range(1, self.config.iterations + 1):
-            self._accelerate_multiplier()
-
-            if iteration == 1:
-                # The very first online action is the best offline configuration.
-                action = self.offline_policy.best_config
-                predicted_qoe = self.offline_policy.best_qoe
-                beta = 0.0
-            else:
-                action, predicted_qoe, beta = self._select_action(iteration)
-
-            result = self.real_engine.run(
-                action,
-                traffic=self.traffic,
-                duration=self.config.measurement_duration_s,
-                seed=iteration,
-            )
-            real_qoe = result.qoe(self.sla.latency_threshold_ms)
-            usage = action.resource_usage()
-            residual = self._update_residual(action, real_qoe)
-            self.multiplier.update(real_qoe, self.sla.availability)
-
-            tracker.record(usage, real_qoe)
-            self._records.append(
-                OnlineIterationRecord(
-                    iteration=iteration,
-                    config=tuple(action.to_array()),
-                    resource_usage=usage,
-                    qoe=real_qoe,
-                    predicted_qoe=predicted_qoe,
-                    residual=residual,
-                    multiplier=self.multiplier.value,
-                    beta=beta,
-                    sla_met=self.sla.is_satisfied_by(real_qoe),
-                )
-            )
-
-        tracker.set_optimum_from_best()
-        policy = self._build_policy()
-        return OnlineLearningResult(policy=policy, history=list(self._records), regret=tracker)
+            self.step(iteration)
+        return self.finalize()
 
     # ------------------------------------------------------------------ policy
     def _build_policy(self) -> OnlinePolicy:

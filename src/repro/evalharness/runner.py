@@ -60,6 +60,7 @@ from repro.metrics.qoe import qoe_from_latencies
 from repro.metrics.stats import summarize_latencies
 from repro.scenarios import ScenarioSpec, get_scenario
 from repro.sim.config import CONFIG_BOUNDS, SliceConfig
+from repro.sim.faults import FaultedEnvironment, FaultSchedule, telemetry_lost
 from repro.sim.multislice import CONTENDED_DIMENSIONS, SliceRun, run_contended_batch
 
 __all__ = [
@@ -229,6 +230,33 @@ class EvalRunner:
             return latencies
         return np.asarray(latencies, dtype=float) + self.latency_bias_ms
 
+    def _run_faulted_steps(
+        self,
+        engine: MeasurementEngine,
+        requests: list[MeasurementRequest],
+        case: EvalCase,
+        schedule: FaultSchedule,
+    ) -> list:
+        """Replay ``requests`` one measurement step at a time under ``schedule``.
+
+        Requests arrive variant-major (``vi * case.measurements + step``);
+        results come back in the same flat order so the event loop stays
+        oblivious to the per-step batching.  The replay pin stays outermost
+        so every executor kind sees the vectorized numerics family.
+        """
+        base = engine.environment.inner
+        n_variants = len(requests) // case.measurements
+        results: list = [None] * len(requests)
+        for step in range(case.measurements):
+            engine.environment = VectorReplayEnvironment(
+                FaultedEnvironment(base, schedule, step)
+            )
+            batch = [requests[vi * case.measurements + step] for vi in range(n_variants)]
+            step_results = engine.run_batch(batch)
+            for vi, result in enumerate(step_results):
+                results[vi * case.measurements + step] = result
+        return results
+
     # ------------------------------------------------------------------- runs
     def run_seed(self, case: EvalCase, seed: int) -> SeedRunResult:
         """Replay one case under one base seed (fresh environments, no cache)."""
@@ -269,8 +297,21 @@ class EvalRunner:
 
         sim_engine = self._engine(workload.make_simulator(seed=seed))
         real_engine = self._engine(workload.make_real_network(seed=seed + 1))
-        sim_results = sim_engine.run_batch(list(requests))
-        real_results = real_engine.run_batch(list(requests))
+        if spec.faults is None:
+            sim_results = sim_engine.run_batch(list(requests))
+            real_results = real_engine.run_batch(list(requests))
+        else:
+            # Hostile replay: faults are step-indexed, so each step goes out
+            # as its own batch under a step-pinned FaultedEnvironment.  The
+            # simulator side sees the world faults (drift, storms) but not
+            # the measurement-plane dropouts — telemetry loss happens on the
+            # path back from the real network.
+            sim_results = self._run_faulted_steps(
+                sim_engine, requests, case, spec.faults.without_dropouts()
+            )
+            real_results = self._run_faulted_steps(
+                real_engine, requests, case, spec.faults
+            )
         executor = self._executor_record(real_engine)
 
         events: list[dict] = []
@@ -300,22 +341,27 @@ class EvalRunner:
                             real_pool.append(latencies)
                     elif vi == deployed:
                         sim_pool.append(latencies)
-                    events.append(
-                        {
-                            "kind": "measurement",
-                            "env": env_name,
-                            "variant": vi,
-                            "usage_factor": factor,
-                            "step": step,
-                            "traffic": levels[step],
-                            "request_seed": _request_seed(vi, step),
-                            "usage": variants[vi].resource_usage(),
-                            "qoe": qoe,
-                            "delivered": summary.count,
-                            "mean_ms": summary.mean,
-                            "p95_ms": summary.p95,
-                        }
-                    )
+                    event = {
+                        "kind": "measurement",
+                        "env": env_name,
+                        "variant": vi,
+                        "usage_factor": factor,
+                        "step": step,
+                        "traffic": levels[step],
+                        "request_seed": _request_seed(vi, step),
+                        "usage": variants[vi].resource_usage(),
+                        "qoe": qoe,
+                        "delivered": summary.count,
+                        "mean_ms": summary.mean,
+                        "p95_ms": summary.p95,
+                    }
+                    if spec.faults is not None:
+                        # Hostile replays record what the fault plane did to
+                        # this step: the traffic actually offered and whether
+                        # the telemetry ever reached the controller.
+                        event["effective_traffic"] = result.traffic
+                        event["dropped"] = telemetry_lost(result)
+                    events.append(event)
                     index += 1
 
         metrics = self._score(

@@ -140,6 +140,29 @@ class RealNetwork:
             isolation=self.isolation,
         )
 
+    @property
+    def imperfections(self) -> Imperfections:
+        """The testbed's un-modelled effects (storm windows degrade these)."""
+        return self._imperfections
+
+    def with_imperfections(self, imperfections: Imperfections) -> "RealNetwork":
+        """A copy of the testbed under different un-modelled effects.
+
+        The hook :class:`~repro.sim.faults.FaultedEnvironment` uses to apply
+        storm-window degradation.  The copy *shares* this testbed's
+        orchestrator so the applied-configuration history keeps accumulating
+        in one place while the storm rages.
+        """
+        network = RealNetwork(
+            scenario=self.scenario,
+            ground_truth=self._ground_truth,
+            imperfections=imperfections,
+            seed=self.seed,
+            isolation=self.isolation,
+        )
+        network.orchestrator = self.orchestrator
+        return network
+
     def fingerprint(self) -> tuple:
         """Content identity of the testbed (Environment protocol).
 

@@ -27,15 +27,18 @@ from repro.scenarios.traces import (
     ConstantTrace,
     DiurnalTrace,
     FlashCrowdTrace,
+    RampTrace,
     TrafficTrace,
 )
 from repro.scenarios import workloads as _workloads  # noqa: F401  (registers built-ins)
+from repro.scenarios import hostile as _hostile  # noqa: F401  (registers hostile entries)
 
 __all__ = [
     "BurstyTrace",
     "ConstantTrace",
     "DiurnalTrace",
     "FlashCrowdTrace",
+    "RampTrace",
     "ScenarioSpec",
     "SliceWorkload",
     "TrafficTrace",

@@ -23,6 +23,7 @@ from repro.prototype.slice_manager import SLA
 from repro.prototype.testbed import RealNetwork
 from repro.scenarios.traces import TrafficTrace
 from repro.sim.config import SliceConfig
+from repro.sim.faults import FaultSchedule
 from repro.sim.multislice import ResourceBudget, SliceRun
 from repro.sim.network import NetworkSimulator
 from repro.sim.scenario import Scenario
@@ -120,6 +121,12 @@ class ScenarioSpec:
         Default threshold ``H`` on the normalised parameter distance.
     tags:
         Free-form labels (``"embb"``, ``"dynamic"``...) for filtering.
+    faults:
+        Optional :class:`~repro.sim.faults.FaultSchedule` making the entry a
+        *hostile* scenario: drift ramps, storm windows and dropout masks
+        injected step by step during online learning and evaluation replay
+        (``python -m repro run --faults``, the eval harness's hostile
+        cases).  ``None`` — the default — is a cooperative environment.
     """
 
     name: str
@@ -129,6 +136,7 @@ class ScenarioSpec:
     stage1_alpha: float = 7.0
     stage1_distance_threshold: float = 0.3
     tags: tuple[str, ...] = ()
+    faults: FaultSchedule | None = None
 
     def __post_init__(self) -> None:
         """Validate the slice list and search-space defaults."""
@@ -153,6 +161,11 @@ class ScenarioSpec:
     def is_dynamic(self) -> bool:
         """Whether any slice carries a (non-constant) traffic trace."""
         return any(workload.trace is not None for workload in self.slices)
+
+    @property
+    def is_hostile(self) -> bool:
+        """Whether the entry injects faults (drift, storms, dropouts)."""
+        return self.faults is not None
 
     @property
     def primary(self) -> SliceWorkload:

@@ -24,6 +24,7 @@ __all__ = [
     "DiurnalTrace",
     "BurstyTrace",
     "FlashCrowdTrace",
+    "RampTrace",
 ]
 
 
@@ -163,3 +164,38 @@ class FlashCrowdTrace(TrafficTrace):
         if self.spike_start <= step < self.spike_start + self.spike_steps:
             return self.peak
         return self.base
+
+
+@dataclass(frozen=True)
+class RampTrace(TrafficTrace):
+    """Load climbing linearly from ``low`` to ``high`` and holding the plateau.
+
+    The observable-load counterpart of a mid-episode traffic drift
+    (:class:`~repro.sim.faults.DriftRamp` is the fault-plane analogue on
+    multipliers): the level sits at ``low`` until ``ramp_start``, climbs
+    linearly over ``ramp_steps`` steps and stays at ``high`` afterwards —
+    demand growth the offline policy never trained on.
+    """
+
+    low: int = 1
+    high: int = 4
+    ramp_start: int = 2
+    ramp_steps: int = 6
+
+    def __post_init__(self) -> None:
+        """Validate the swing range and ramp window."""
+        if self.low < 1:
+            raise ValueError(f"low must be >= 1, got {self.low}")
+        if self.high < self.low:
+            raise ValueError(f"high must be >= low, got {self.high} < {self.low}")
+        if self.ramp_start < 0 or self.ramp_steps < 1:
+            raise ValueError("ramp_start must be >= 0 and ramp_steps >= 1")
+
+    def level(self, step: int) -> int:
+        """``low`` before the ramp, linear climb inside it, ``high`` after."""
+        if step < self.ramp_start:
+            return self.low
+        if step >= self.ramp_start + self.ramp_steps - 1:
+            return self.high
+        progress = (step - self.ramp_start + 1) / self.ramp_steps
+        return max(self.low, min(self.high, round(self.low + (self.high - self.low) * progress)))

@@ -21,6 +21,16 @@ which is exactly the interface Atlas' three stages need.
 from repro.sim.application import FrameRecord, OffloadingApplication
 from repro.sim.config import SliceConfig
 from repro.sim.events import EventScheduler, FifoServer
+from repro.sim.faults import (
+    DriftRamp,
+    DropoutWindow,
+    FaultedEnvironment,
+    FaultSchedule,
+    RandomDropout,
+    StormWindow,
+    dropped_result,
+    telemetry_lost,
+)
 from repro.sim.network import NetworkSimulator, SimulationResult
 from repro.sim.parameters import SimulationParameters
 from repro.sim.scenario import Scenario
@@ -35,4 +45,12 @@ __all__ = [
     "SimulationResult",
     "OffloadingApplication",
     "FrameRecord",
+    "DriftRamp",
+    "StormWindow",
+    "DropoutWindow",
+    "RandomDropout",
+    "FaultSchedule",
+    "FaultedEnvironment",
+    "dropped_result",
+    "telemetry_lost",
 ]

@@ -82,3 +82,33 @@ class Imperfections:
         current = {f.name: getattr(self, f.name) for f in fields(self)}
         current.update(changes)
         return Imperfections(**current)
+
+    def degraded(self, severity: float) -> "Imperfections":
+        """These imperfections under storm conditions of the given ``severity``.
+
+        The deterministic degradation model behind
+        :class:`~repro.sim.faults.StormWindow`: a flash crowd worsens every
+        un-modelled effect at once — deeper fades and a noisier channel as
+        the cell fills, heavier compute contention on the shared edge host,
+        more frequent latency spikes, derated radio rates and inflated
+        per-frame/per-traffic overheads.  ``severity=1`` is the identity;
+        the mapping is monotone in ``severity`` and keeps every field within
+        its validated range, so degraded imperfections are always valid.
+        """
+        if severity < 1.0:
+            raise ValueError(f"severity must be >= 1, got {severity}")
+        extra = float(severity) - 1.0
+        if extra == 0.0:
+            return self
+        return self.replace(
+            fading_std_db=self.fading_std_db + 2.0 * extra,
+            deep_fade_probability=min(1.0, self.deep_fade_probability * severity + 0.02 * extra),
+            compute_jitter_scale=self.compute_jitter_scale * (1.0 + 0.5 * extra),
+            compute_slowdown=self.compute_slowdown * (1.0 + 0.1 * extra),
+            spike_probability=min(1.0, self.spike_probability * severity + 0.03 * extra),
+            ul_rate_derate=max(0.05, self.ul_rate_derate / (1.0 + 0.3 * extra)),
+            dl_rate_derate=max(0.05, self.dl_rate_derate / (1.0 + 0.2 * extra)),
+            error_floor_scale=self.error_floor_scale * (1.0 + extra),
+            per_frame_overhead_ms=self.per_frame_overhead_ms + 4.0 * extra,
+            per_traffic_overhead_ms=self.per_traffic_overhead_ms + 8.0 * extra,
+        )

@@ -132,6 +132,21 @@ class NetworkSimulator:
             isolation=self.isolation,
         )
 
+    def with_imperfections(self, imperfections: Imperfections) -> "NetworkSimulator":
+        """A copy of this simulator under different un-modelled effects.
+
+        The hook :class:`~repro.sim.faults.FaultedEnvironment` uses to apply
+        storm-window degradation; the copy's fingerprint differs, so faulted
+        measurements can never share cache entries with clean ones.
+        """
+        return NetworkSimulator(
+            params=self.params,
+            scenario=self.scenario,
+            imperfections=imperfections,
+            seed=self.seed,
+            isolation=self.isolation,
+        )
+
     def _make_rng(self, seed: int | None) -> np.random.Generator:
         if seed is None:
             # Unseeded runs draw from a per-instance spawn stream: results are

@@ -11,7 +11,9 @@ from repro.metrics.kl import histogram_kl_divergence, jensen_shannon_divergence
 from repro.metrics.qoe import qoe_from_latencies
 from repro.metrics.regret import cumulative_qoe_regret
 from repro.models.scaler import StandardScaler
+from repro.scenarios.traces import RampTrace
 from repro.sim.config import CONFIG_BOUNDS, CONFIG_NAMES, SliceConfig
+from repro.sim.faults import DriftRamp, DropoutWindow, FaultSchedule, RandomDropout, StormWindow
 from repro.sim.lte import MAX_MCS, expected_transmissions, select_mcs, spectral_efficiency
 from repro.sim.parameters import SimulationParameters
 
@@ -150,3 +152,126 @@ def test_multiplier_stays_non_negative_under_any_update_sequence(qoes, requireme
         value = multiplier.update(qoe, requirement)
         assert value >= 0.0
     assert len(multiplier.history) == len(qoes) + 1
+
+
+# ----------------------------------------------------------- fault schedules
+drift_ramps = st.builds(
+    DriftRamp,
+    start=st.integers(min_value=0, max_value=10),
+    steps=st.integers(min_value=1, max_value=10),
+    multiplier=st.floats(min_value=0.5, max_value=5.0, allow_nan=False),
+    hold=st.one_of(st.none(), st.integers(min_value=1, max_value=10)),
+)
+
+storm_windows = st.builds(
+    StormWindow,
+    start=st.integers(min_value=0, max_value=10),
+    steps=st.integers(min_value=1, max_value=10),
+    extra_traffic=st.integers(min_value=0, max_value=5),
+    severity=st.floats(min_value=1.0, max_value=4.0, allow_nan=False),
+)
+
+dropout_masks = st.one_of(
+    st.builds(
+        DropoutWindow,
+        start=st.integers(min_value=0, max_value=6),
+        steps=st.integers(min_value=1, max_value=4),
+        period=st.sampled_from([0, 10, 16]),
+    ),
+    st.builds(
+        RandomDropout,
+        rate=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    ),
+)
+
+fault_schedules = st.builds(
+    FaultSchedule,
+    drifts=st.lists(drift_ramps, max_size=2).map(tuple),
+    storms=st.lists(storm_windows, max_size=2).map(tuple),
+    dropouts=st.lists(dropout_masks, max_size=2).map(tuple),
+)
+
+
+@given(fault_schedules, st.integers(min_value=0, max_value=64), st.integers(min_value=1, max_value=8))
+@settings(max_examples=100, deadline=None)
+def test_fault_schedule_is_a_pure_function_of_the_step(schedule, step, base):
+    """Two queries of the same step agree exactly — no hidden random state."""
+    replay = FaultSchedule(
+        drifts=schedule.drifts, storms=schedule.storms, dropouts=schedule.dropouts
+    )
+    assert schedule.traffic_at(step, base) == replay.traffic_at(step, base)
+    assert schedule.dropped(step) == replay.dropped(step)
+    assert schedule.storm_severity(step) == replay.storm_severity(step)
+    assert schedule.affects(step) == replay.affects(step)
+    assert schedule.traffic_at(step, base) >= 1
+    assert schedule.storm_severity(step) >= 1.0
+
+
+@given(fault_schedules, st.integers(min_value=0, max_value=64), st.integers(min_value=1, max_value=8))
+@settings(max_examples=50, deadline=None)
+def test_without_dropouts_changes_nothing_but_the_dropout_mask(schedule, step, base):
+    stripped = schedule.without_dropouts()
+    assert not stripped.dropped(step)
+    assert stripped.traffic_at(step, base) == schedule.traffic_at(step, base)
+    assert stripped.storm_severity(step) == schedule.storm_severity(step)
+
+
+@given(drift_ramps, st.integers(min_value=0, max_value=80))
+@settings(max_examples=100, deadline=None)
+def test_drift_factor_stays_between_one_and_the_multiplier(ramp, step):
+    factor = ramp.factor(step)
+    lo, hi = sorted((1.0, ramp.multiplier))
+    assert lo - 1e-12 <= factor <= hi + 1e-12
+    assert ramp.factor(max(0, ramp.start - 1)) == 1.0 if ramp.start > 0 else True
+    peak = ramp.start + ramp.steps - 1
+    assert abs(ramp.factor(peak) - ramp.multiplier) < 1e-12
+    if ramp.hold is None:
+        # A permanent plateau never releases.
+        assert abs(ramp.factor(peak + 100) - ramp.multiplier) < 1e-12
+    else:
+        # An excursion fully recedes one ramp-length after the hold ends.
+        assert ramp.factor(peak + ramp.hold + ramp.steps) == 1.0
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=100, deadline=None)
+def test_random_dropout_is_deterministic_under_seed(rate, seed, step):
+    mask = RandomDropout(rate=rate, seed=seed)
+    assert mask.dropped(step) == RandomDropout(rate=rate, seed=seed).dropped(step)
+    if rate == 0.0:
+        assert not mask.dropped(step)
+    if rate == 1.0:
+        assert mask.dropped(step)
+
+
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=8),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=40),
+)
+@settings(max_examples=100, deadline=None)
+def test_ramp_trace_level_agrees_with_levels_at_every_boundary(
+    low, swing, ramp_start, ramp_steps, horizon
+):
+    """``level(step)`` and ``levels(n)`` agree, including at window boundaries."""
+    high = low + swing
+    trace = RampTrace(low=low, high=high, ramp_start=ramp_start, ramp_steps=ramp_steps)
+    levels = trace.levels(horizon)
+    assert len(levels) == horizon
+    for step, level in enumerate(levels):
+        assert level == trace.level(step)
+        assert low <= level <= high
+    # Before the ramp the trace sits at ``low``; after it, at ``high`` —
+    # the level is monotone non-decreasing throughout.
+    if ramp_start > 0:
+        assert trace.level(0) == low
+    assert trace.level(ramp_start + ramp_steps + 10) == high
+    series = trace.levels(ramp_start + ramp_steps + 2)
+    assert all(a <= b for a, b in zip(series, series[1:]))
