@@ -32,12 +32,15 @@ Speedup gates:
 from __future__ import annotations
 
 import json
+import tempfile
 import time
 from pathlib import Path
 
 import numpy as np
 
 from bench_utils import print_table
+from repro.service.costs import CostLedger
+from repro.service.store import ResultStore
 from repro.engine import (
     MeasurementCache,
     MeasurementEngine,
@@ -204,6 +207,34 @@ def test_engine_throughput(scale):
     for a, b in zip(cold_results, warm_results):
         assert np.array_equal(a.latencies_ms, b.latencies_ms)
 
+    # Persistent store tier (service mode): replay the batch through a
+    # store-backed cache, then again through a *fresh* memory tier sharing
+    # the same store — the warm-restart path.  The cost ledger in the
+    # payload is the same accounting ``python -m repro status`` shows.
+    with tempfile.TemporaryDirectory() as store_root:
+        store = ResultStore(Path(store_root) / "store")
+        store_cold = MeasurementEngine(
+            simulator, executor="serial", cache=MeasurementCache(store=store)
+        )
+        store_cold_s, store_cold_results = _timed(store_cold, requests)
+        warm_cache = MeasurementCache(store=store)  # fresh memory tier
+        store_warm = MeasurementEngine(simulator, executor="serial", cache=warm_cache)
+        ledger = CostLedger(cache=warm_cache, store=store)
+        store_warm_s, store_warm_results = _timed(store_warm, requests)
+        store_costs = ledger.finish()
+        store_summary = {
+            "cold_wall_s": round(store_cold_s, 6),
+            "warm_wall_s": round(store_warm_s, 6),
+            "entries": store.entry_count(),
+            "bytes": store.total_bytes(),
+            "costs": store_costs,
+        }
+    assert store_warm.executed_requests == 0, "warm store pass recomputed"
+    assert store_costs["engine_requests"] == 0
+    assert store_costs["cache"]["store_hits"] == BATCH_SIZE
+    for a, b in zip(store_cold_results, store_warm_results):
+        assert np.array_equal(a.latencies_ms, b.latencies_ms)
+
     # Persistent pools: the process/sharded batches above reused warm pools
     # instead of respawning one per batch (creations stay far below
     # dispatches; reinitialisations only happen on environment change).
@@ -251,6 +282,12 @@ def test_engine_throughput(scale):
     )
     print(f"cache stats: {stats.as_dict()}")
     print(f"pool reuse: {pool_summary}")
+    print(
+        f"store: cold {store_summary['cold_wall_s']:.3f}s -> warm "
+        f"{store_summary['warm_wall_s']:.3f}s ({store_summary['entries']} blobs, "
+        f"{store_summary['bytes']} bytes), warm engine requests "
+        f"{store_costs['engine_requests']}"
+    )
 
     payload = {
         "schema": BENCH_SCHEMA,
@@ -299,6 +336,7 @@ def test_engine_throughput(scale):
         },
         "pools": pool_summary,
         "cache": stats.as_dict(),
+        "store": store_summary,
     }
     BENCH_JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"[atlas-bench] wrote {BENCH_JSON_PATH}")

@@ -25,7 +25,29 @@ Four subcommands cover the catalog workflow:
     every run with the :mod:`repro.metrics` scorers, write the structured
     run layout plus ``EVAL_report.json`` (schema ``atlas-eval/1``) under
     ``--out``, and exit nonzero when the regression gate fails — see
-    ``docs/evaluation.md``.
+    ``docs/evaluation.md``.  ``--store`` serves the replay through the
+    persistent result store (embedding a cost ledger in the report);
+    ``--history`` appends the run's summary to a trend file and flags
+    metric drift against the previous run.
+
+Service mode (see ``docs/service.md``) adds four more:
+
+``serve --state <dir>``
+    Run the job daemon against a service state tree: claims queued jobs,
+    executes them through the measurement engine with the tree's
+    persistent store attached, shuts down gracefully on SIGTERM/SIGINT
+    (``--max-jobs`` / ``--idle-exit`` bound the run for CI).
+``submit --state <dir> run|eval ...``
+    Enqueue a stage run or an eval run and print its job id (works with
+    or without a live daemon).
+``status --state <dir> [job]``
+    One line per known job, or the full JSON record (result, costs) of
+    one job.
+``tail --state <dir> <job> [--trace]``
+    Print a job's captured stdout, or its structured trace stream.
+
+``run`` and ``eval`` also accept ``--store <dir>`` to reuse the same
+persistent store outside the daemon (one-shot warm runs).
 
 Stage semantics: ``--stage 1`` searches simulation parameters only;
 ``--stage 2`` trains offline against the *original* simulator; ``--stage 3``
@@ -377,6 +399,13 @@ def cmd_show(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     """Run the requested stages of the pipeline on one catalog entry."""
+    ledger = None
+    if args.store is not None:
+        from repro.engine.cache import attach_shared_store, shared_cache
+        from repro.service.costs import CostLedger
+
+        store = attach_shared_store(args.store)
+        ledger = CostLedger(cache=shared_cache(), store=store)
     spec = get_scenario(args.scenario)
     scale = get_scale(args.scale)
     duration = args.duration if args.duration is not None else scale.measurement_duration_s
@@ -447,12 +476,23 @@ def cmd_run(args: argparse.Namespace) -> int:
                 learned_runs, budget=spec.budget, duration=duration
             )
             _print_multislice_round(after, "contended round (optimised configurations):")
+        costs = ledger.finish() if ledger is not None else None
+        if costs is not None:
+            cache = costs["cache"] or {}
+            print(
+                f"\ncosts: {costs['engine_requests']} measurements executed "
+                f"({costs['sim_seconds']:g} sim-s), cache served "
+                f"{cache.get('memory_hits', 0)} from memory + "
+                f"{cache.get('store_hits', 0)} from the store "
+                f"(hit rate {cache.get('hit_rate', 0.0):.1%})"
+            )
         if args.json is not None:
             payload = _jsonable(
                 {
                     **summary,
                     "multislice_before": before.summary() if before is not None else None,
                     "multislice_after": after.summary() if after is not None else None,
+                    "costs": costs,
                 }
             )
             with open(args.json, "w") as handle:
@@ -472,6 +512,11 @@ def cmd_eval(args: argparse.Namespace) -> int:
     """Replay the eval dataset, write the report, exit on the gate verdict."""
     from repro.evalharness import evaluate, render_report, write_report
 
+    store = None
+    if args.store is not None:
+        from repro.service.store import ResultStore
+
+        store = ResultStore(args.store)
     report, gate, _ = evaluate(
         cases_path=args.cases,
         group=args.group,
@@ -480,6 +525,7 @@ def cmd_eval(args: argparse.Namespace) -> int:
         executor=args.executor,
         out_dir=args.out,
         determinism=not args.no_determinism,
+        store=store,
     )
     report_path = write_report(report, Path(args.out) / "EVAL_report.json")
     if args.json:
@@ -487,7 +533,99 @@ def cmd_eval(args: argparse.Namespace) -> int:
     else:
         print(render_report(report))
         print(f"wrote {report_path}")
+    if args.history is not None:
+        from repro.evalharness import append_trend, render_drift
+
+        outcome = append_trend(report, args.history)
+        record = outcome["record"]
+        print(f"appended run {record['run']} to {Path(args.history) / 'trend.jsonl'}")
+        drift_text = render_drift(outcome["drift"])
+        if drift_text:
+            print(drift_text)
     return 0 if gate.passed else 1
+
+
+# ------------------------------------------------------------- service mode
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the service daemon against a state directory."""
+    from repro.service.daemon import serve
+
+    return serve(
+        args.state,
+        workers=args.workers,
+        max_jobs=args.max_jobs,
+        idle_exit_s=args.idle_exit,
+        store_max_bytes=args.store_max_bytes,
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Enqueue a job and print its id (the whole stdout, for shell capture)."""
+    from repro.service import submit_job
+
+    if args.job_kind == "run":
+        params = {
+            "scenario": args.scenario,
+            "stage": args.stage,
+            "scale": args.scale,
+            "seed": args.seed,
+            "executor": args.executor,
+            "faults": args.faults,
+            "duration": args.duration,
+        }
+    else:
+        params = {
+            "group": args.group,
+            "scenario": args.eval_scenario,
+            "seeds": args.seeds,
+            "executor": args.executor,
+            "determinism": args.determinism,
+        }
+    spec = submit_job(args.state, args.job_kind, {k: v for k, v in params.items() if v is not None})
+    print(spec.id)
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """List all jobs, or print one job's full JSON record."""
+    from repro.service import job_record, list_jobs
+
+    if args.job is not None:
+        print(json.dumps(job_record(args.state, args.job), indent=2, sort_keys=True))
+        return 0
+    records = list_jobs(args.state)
+    if not records:
+        print("no jobs")
+        return 0
+    print(f"{'id':<30} {'kind':<5} {'status':<8} detail")
+    for record in records:
+        result = record.get("result", {})
+        costs = result.get("costs") or {}
+        cache = costs.get("cache") or {}
+        detail = ""
+        if costs:
+            detail = (
+                f"{costs.get('engine_requests', 0)} executed, "
+                f"{cache.get('memory_hits', 0)}+{cache.get('store_hits', 0)} cached, "
+                f"{costs.get('wall_time_s', 0.0):.1f}s"
+            )
+        if result.get("error"):
+            detail = result["error"]
+        print(f"{record['id']:<30} {record['kind']:<5} {record['status']:<8} {detail}")
+    return 0
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    """Print a job's captured stdout (or, with --trace, its span stream)."""
+    from repro.service import ServicePaths
+
+    job_dir = ServicePaths(Path(args.state)).job_dir(args.job)
+    path = job_dir / ("trace.jsonl" if args.trace else "log.txt")
+    if not path.exists():
+        print(f"error: {path} does not exist (job not started yet?)", file=sys.stderr)
+        return 2
+    sys.stdout.write(path.read_text())
+    return 0
 
 
 def _jsonable(value):
@@ -563,6 +701,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-measurement duration in simulated seconds (default: the scale's duration)",
     )
     run_parser.add_argument("--json", default=None, help="write a JSON summary to this path")
+    run_parser.add_argument(
+        "--store",
+        default=None,
+        help=(
+            "persistent result-store directory: measurements are served from and "
+            "written through to it, and a cost ledger is printed (and embedded in "
+            "--json output)"
+        ),
+    )
     run_parser.set_defaults(handler=cmd_run)
 
     eval_parser = subparsers.add_parser(
@@ -615,7 +762,97 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the gate's replay-twice determinism check (quick local runs)",
     )
+    eval_parser.add_argument(
+        "--store",
+        default=None,
+        help=(
+            "persistent result-store directory: the replay is served from it where "
+            "possible and a cost ledger lands in the report's provenance.costs"
+        ),
+    )
+    eval_parser.add_argument(
+        "--history",
+        default=None,
+        help=(
+            "trend directory: append this run's summary to <dir>/trend.jsonl and "
+            "flag metric drift against the previous run"
+        ),
+    )
     eval_parser.set_defaults(handler=cmd_eval)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the service daemon against a state directory"
+    )
+    serve_parser.add_argument("--state", required=True, help="service state directory")
+    serve_parser.add_argument(
+        "--workers", type=int, default=1, help="concurrent job executors (default: 1)"
+    )
+    serve_parser.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="exit after executing this many jobs (default: run until signalled)",
+    )
+    serve_parser.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        help="exit after the queue has been idle for this many seconds",
+    )
+    serve_parser.add_argument(
+        "--store-max-bytes",
+        type=int,
+        default=2 * 1024**3,
+        help="persistent-store size bound in bytes (default: 2 GiB)",
+    )
+    serve_parser.set_defaults(handler=cmd_serve)
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="enqueue a job (prints the job id)"
+    )
+    submit_parser.add_argument("--state", required=True, help="service state directory")
+    submit_sub = submit_parser.add_subparsers(dest="job_kind", required=True)
+    submit_run = submit_sub.add_parser("run", help="enqueue a pipeline stage run")
+    submit_run.add_argument("--scenario", required=True, help="catalog entry name")
+    submit_run.add_argument("--stage", choices=("1", "2", "3", "all"), default="all")
+    submit_run.add_argument("--scale", choices=tuple(sorted(SCALES)), default=None)
+    submit_run.add_argument("--executor", choices=tuple(sorted(EXECUTOR_KINDS)), default=None)
+    submit_run.add_argument("--seed", type=int, default=0)
+    submit_run.add_argument("--faults", choices=("off", "guarded", "unprotected"), default="off")
+    submit_run.add_argument("--duration", type=float, default=None)
+    submit_eval = submit_sub.add_parser("eval", help="enqueue an eval-harness run")
+    submit_eval.add_argument("--group", default=None, help="only replay cases in this group")
+    submit_eval.add_argument(
+        "--scenario", dest="eval_scenario", default=None, help="only replay this scenario's cases"
+    )
+    submit_eval.add_argument("--seeds", type=int, nargs="+", default=None)
+    submit_eval.add_argument("--executor", choices=tuple(sorted(EXECUTOR_KINDS)), default=None)
+    submit_eval.add_argument(
+        "--determinism",
+        action="store_true",
+        help=(
+            "also run the gate's replay-twice determinism check (off by default in "
+            "service mode: the check reruns without the store and doubles the cost)"
+        ),
+    )
+    submit_parser.set_defaults(handler=cmd_submit)
+
+    status_parser = subparsers.add_parser(
+        "status", help="list jobs, or show one job's full record"
+    )
+    status_parser.add_argument("--state", required=True, help="service state directory")
+    status_parser.add_argument("job", nargs="?", default=None, help="job id (default: list all)")
+    status_parser.set_defaults(handler=cmd_status)
+
+    tail_parser = subparsers.add_parser(
+        "tail", help="print a job's captured stdout or trace stream"
+    )
+    tail_parser.add_argument("--state", required=True, help="service state directory")
+    tail_parser.add_argument("job", help="job id")
+    tail_parser.add_argument(
+        "--trace", action="store_true", help="print the structured trace instead of stdout"
+    )
+    tail_parser.set_defaults(handler=cmd_tail)
     return parser
 
 

@@ -9,8 +9,14 @@ for the architecture walkthrough (sim → engine → stages → experiments) and
 ``docs/performance.md`` for the executor selection guide.
 """
 
-from repro.engine.cache import CacheStats, MeasurementCache, shared_cache
-from repro.engine.engine import MeasurementEngine
+from repro.engine.cache import (
+    STORE_ENV_VAR,
+    CacheStats,
+    MeasurementCache,
+    attach_shared_store,
+    shared_cache,
+)
+from repro.engine.engine import MeasurementEngine, engine_telemetry
 from repro.engine.executors import (
     EXECUTOR_KINDS,
     available_parallelism,
@@ -31,10 +37,13 @@ __all__ = [
     "MeasurementCache",
     "MeasurementEngine",
     "MeasurementRequest",
+    "STORE_ENV_VAR",
     "VectorReplayEnvironment",
+    "attach_shared_store",
     "available_parallelism",
     "choose_executor",
     "default_executor_kind",
+    "engine_telemetry",
     "make_executor",
     "pool_diagnostics",
     "register_executor",

@@ -28,6 +28,7 @@ Side effects
 from __future__ import annotations
 
 import weakref
+from threading import Lock
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
@@ -45,7 +46,56 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.network import SimulationResult
     from repro.sim.parameters import SimulationParameters
 
-__all__ = ["MeasurementEngine"]
+__all__ = ["MeasurementEngine", "engine_telemetry"]
+
+
+class _EngineTelemetry:
+    """Process-wide execution counters feeding the service cost ledger.
+
+    Engines are created deep inside stages and experiment runners, so
+    per-engine counters cannot be aggregated by outer code that never sees
+    them.  These process-wide counters can: every engine increments them on
+    execution (cache hits excluded), and
+    :class:`~repro.service.costs.CostLedger` diffs two snapshots to cost an
+    arbitrary block of work.
+    """
+
+    def __init__(self) -> None:
+        self._lock = Lock()
+        self.executed_requests = 0
+        self.submitted_batches = 0
+        self.sim_seconds = 0.0
+
+    def record_batch(self) -> None:
+        with self._lock:
+            self.submitted_batches += 1
+
+    def record_executed(self, count: int, sim_seconds: float) -> None:
+        with self._lock:
+            self.executed_requests += count
+            self.sim_seconds += sim_seconds
+
+    def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "executed_requests": self.executed_requests,
+                "submitted_batches": self.submitted_batches,
+                "sim_seconds": self.sim_seconds,
+            }
+
+
+_TELEMETRY = _EngineTelemetry()
+
+
+def engine_telemetry() -> dict[str, float]:
+    """Snapshot of the process-wide engine counters.
+
+    Keys: ``executed_requests`` (measurements actually executed — cache
+    hits excluded), ``submitted_batches`` and ``sim_seconds`` (simulated
+    seconds produced by executed measurements).  Monotonic over the process
+    lifetime; cost accounting diffs two snapshots rather than resetting.
+    """
+    return _TELEMETRY.snapshot()
 
 
 class MeasurementEngine:
@@ -177,6 +227,7 @@ class MeasurementEngine:
         dispatched together so the executor can chunk them across workers.
         """
         self.submitted_batches += 1
+        _TELEMETRY.record_batch()
         environment = self.environment
         resolved = list(requests)
         prepare = getattr(environment, "prepare_batch", None)
@@ -202,6 +253,9 @@ class MeasurementEngine:
         if pending:
             executed = self._executor.map_requests(environment, [r for _, _, r in pending])
             self.executed_requests += len(executed)
+            _TELEMETRY.record_executed(
+                len(executed), sum(float(result.duration_s) for result in executed)
+            )
             for (index, key, _), result in zip(pending, executed):
                 if self._cache is not None:
                     self._cache.put(key, result)

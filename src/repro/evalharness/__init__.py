@@ -16,7 +16,9 @@ envelopes checked into ``cases.yaml``:
 * :mod:`repro.evalharness.gate` — envelope / determinism / coverage
   checks with actionable failures;
 * :mod:`repro.evalharness.harness` — :func:`~repro.evalharness.harness.evaluate`,
-  the one-call pipeline behind ``python -m repro eval``.
+  the one-call pipeline behind ``python -m repro eval``;
+* :mod:`repro.evalharness.trend` — cross-run trend tracking
+  (``python -m repro eval --history``) with metric-drift flagging.
 
 See ``docs/evaluation.md`` for the dataset format, run layout and gate
 criteria.
@@ -54,6 +56,13 @@ from repro.evalharness.runner import (
     canonical_metrics_bytes,
     scaled_config,
 )
+from repro.evalharness.trend import (
+    TREND_SCHEMA,
+    append_trend,
+    detect_drift,
+    load_trend,
+    render_drift,
+)
 
 __all__ = [
     "DEFAULT_CASES_PATH",
@@ -67,15 +76,20 @@ __all__ = [
     "GateFailure",
     "GateResult",
     "SeedRunResult",
+    "TREND_SCHEMA",
+    "append_trend",
     "build_report",
     "canonical_metrics_bytes",
     "canonical_results_bytes",
     "check_coverage",
     "check_determinism",
     "check_envelopes",
+    "detect_drift",
     "evaluate",
     "load_cases",
+    "load_trend",
     "parse_cases_yaml",
+    "render_drift",
     "render_report",
     "run_gate",
     "scaled_config",

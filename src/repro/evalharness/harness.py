@@ -39,6 +39,8 @@ def evaluate(
     latency_bias_ms: float = 0.0,
     determinism: bool = True,
     coverage: bool | None = None,
+    store=None,
+    tracer=None,
 ) -> tuple[dict, GateResult, list[CaseResult]]:
     """Run the full evaluation pipeline and return (report, gate, results).
 
@@ -47,6 +49,13 @@ def evaluate(
     checked-in ``cases.yaml``) is loaded with the given filters.
     ``coverage=None`` resolves to "check unless filtered or explicit
     cases were supplied".
+
+    ``store`` attaches a persistent result store to the replay (see
+    :class:`EvalRunner`), so repeated evaluations are served from disk;
+    ``tracer`` streams per-seed spans.  Either being set also embeds a
+    cost ledger (:class:`~repro.service.costs.CostLedger`) in the
+    report's ``provenance.costs`` section — the only report section
+    allowed to vary between reruns.
     """
     if cases is None:
         cases = load_cases(path=cases_path, group=group, scenario=scenario)
@@ -64,8 +73,19 @@ def evaluate(
         out_dir=out_dir,
         max_workers=max_workers,
         latency_bias_ms=latency_bias_ms,
+        store=store,
+        tracer=tracer,
     )
+    ledger = None
+    if store is not None or tracer is not None:
+        from repro.service.costs import CostLedger
+
+        ledger = CostLedger(cache=runner.cache, store=store)
     case_results = runner.run_cases(cases)
+    # Close the ledger before the gate: the determinism check replays cases
+    # through a fresh store-less runner, and its recomputation is a property
+    # of the *check*, not a cost of serving this evaluation.
+    costs = ledger.finish() if ledger is not None else None
     gate = run_gate(
         runner,
         case_results,
@@ -78,5 +98,6 @@ def evaluate(
         executor=executor,
         gate=gate.as_dict(),
         latency_bias_ms=latency_bias_ms,
+        costs=costs,
     )
     return report, gate, case_results

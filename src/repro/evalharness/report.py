@@ -8,7 +8,10 @@ about bytes:
 * **Rerun identity** — the same cases, seeds and executor produce a
   byte-identical report file.  Nothing time- or host-dependent is recorded
   (no timestamps, no hostnames, no absolute paths), keys are sorted, and
-  non-finite floats are sanitised to ``null``.
+  non-finite floats are sanitised to ``null``.  The one sanctioned
+  exception is ``provenance.costs`` — the service-mode cost ledger
+  (wall time, cache-tier hit split), present only when the caller passes
+  one and deliberately *outside* the canonical section.
 * **Cross-executor identity** — the ``results`` section (every metric of
   every case and seed) is byte-identical under the ``serial``,
   ``vectorized``, ``sharded`` and ``auto`` executor kinds, because the
@@ -44,13 +47,17 @@ def build_report(
     executor: str | None = None,
     gate: dict | None = None,
     latency_bias_ms: float = 0.0,
+    costs: dict | None = None,
 ) -> dict:
     """Assemble the ``atlas-eval/1`` report from scored case results.
 
     ``gate`` is the gate outcome payload (:meth:`GateResult.as_dict`);
     ``None`` means the gate was not run (report-only mode).  ``executor``
     is the *requested* kind; each seed run additionally records the kind
-    that actually executed it (``auto`` resolves per batch).
+    that actually executed it (``auto`` resolves per batch).  ``costs``
+    is an ``atlas-costs/1`` ledger payload recorded under
+    ``provenance.costs`` (service mode); it carries wall-clock fields and
+    is the only part of the report allowed to differ between reruns.
     """
     results = []
     for case_result in case_results:
@@ -100,6 +107,7 @@ def build_report(
                 ),
             },
             "latency_bias_ms": latency_bias_ms,
+            "costs": costs,
         },
         "summary": {
             "cases": len(results),

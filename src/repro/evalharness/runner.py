@@ -18,7 +18,10 @@ runs byte for byte — and rests on three decisions:
 * every measurement carries an explicit request seed derived from its
   ``(variant, step[, slice])`` coordinates by a fixed scheme, so results
   never depend on batch composition, executor scheduling or cache state
-  (engines run with ``cache=False``);
+  (engines run with ``cache=False`` by default; a runner opened with a
+  persistent ``store`` instead shares one private store-backed cache
+  across its engines — safe *because* of the explicit seeds and the
+  replay pin, which make a cached entry byte-identical to recomputation);
 * environments are constructed fresh per ``(case, seed)``, so stateful
   hooks (the real network's domain-manager history) always start from the
   same state.
@@ -196,6 +199,16 @@ class EvalRunner:
     latency_bias_ms:
         Fault-injection offset added to real-network latencies before
         scoring (gate self-tests only — see the module docstring).
+    store:
+        Optional persistent :class:`~repro.service.store.ResultStore`.
+        When given, every engine shares one private
+        :class:`~repro.engine.cache.MeasurementCache` backed by the store,
+        so a repeated eval case is served from disk instead of recomputed
+        (the service-mode warm path).  The cache is exposed as ``.cache``
+        for cost accounting; metrics are unchanged by construction.
+    tracer:
+        Optional :class:`~repro.service.tracer.Tracer`; each ``(case,
+        seed)`` replay is recorded as an ``eval.seed`` span.
     """
 
     def __init__(
@@ -204,11 +217,25 @@ class EvalRunner:
         out_dir: str | Path | None = None,
         max_workers: int | None = None,
         latency_bias_ms: float = 0.0,
+        store=None,
+        tracer=None,
     ) -> None:
         self.executor = executor
         self.out_dir = Path(out_dir) if out_dir is not None else None
         self.max_workers = max_workers
         self.latency_bias_ms = float(latency_bias_ms)
+        self.store = store
+        if store is not None:
+            from repro.engine.cache import MeasurementCache
+
+            self.cache: "MeasurementCache | None" = MeasurementCache(store=store)
+        else:
+            self.cache = None
+        if tracer is None:
+            from repro.service.tracer import NullTracer
+
+            tracer = NullTracer()
+        self.tracer = tracer
 
     # ----------------------------------------------------------------- engine
     def _engine(self, environment) -> MeasurementEngine:
@@ -216,7 +243,7 @@ class EvalRunner:
             VectorReplayEnvironment(environment),
             executor=self.executor,
             max_workers=self.max_workers,
-            cache=False,
+            cache=self.cache if self.cache is not None else False,
         )
 
     def _executor_record(self, engine: MeasurementEngine) -> dict[str, str]:
@@ -261,10 +288,11 @@ class EvalRunner:
     def run_seed(self, case: EvalCase, seed: int) -> SeedRunResult:
         """Replay one case under one base seed (fresh environments, no cache)."""
         spec = get_scenario(case.scenario)
-        if spec.is_multislice:
-            metrics, events, executor = self._run_multislice_seed(case, spec, seed)
-        else:
-            metrics, events, executor = self._run_single_seed(case, spec, seed)
+        with self.tracer.span("eval.seed", case=case.case_id, seed=seed):
+            if spec.is_multislice:
+                metrics, events, executor = self._run_multislice_seed(case, spec, seed)
+            else:
+                metrics, events, executor = self._run_single_seed(case, spec, seed)
         return SeedRunResult(
             case_id=case.case_id,
             group=case.group,

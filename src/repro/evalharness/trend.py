@@ -1,0 +1,138 @@
+"""Cross-run trend tracking for eval reports: append, reload, flag drift.
+
+``python -m repro eval --history <dir>`` appends one summary line per run
+to ``<dir>/trend.jsonl`` (schema ``atlas-eval-trend/1``), so a directory of
+eval runs accumulates a metric history without keeping full reports
+around.  Each record carries the run index (the line count at append time —
+deterministic, no timestamps), the report summary and the per-case
+aggregate metric vector.
+
+Drift detection compares each case metric against the *previous* run's
+value: a change is flagged when it exceeds both an absolute floor (noise
+from finite replay) and a relative band::
+
+    |current - previous| > max(ABS_FLOOR, REL_BAND * |previous|)
+
+Flagged drifts are advisory — the hard regression verdict stays with the
+eval gate's envelopes — but they catch slow walks *inside* the envelope
+that a per-run gate can never see.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "ABS_FLOOR",
+    "REL_BAND",
+    "TREND_SCHEMA",
+    "append_trend",
+    "detect_drift",
+    "load_trend",
+    "render_drift",
+]
+
+#: Schema identifier of every ``trend.jsonl`` record.
+TREND_SCHEMA = "atlas-eval-trend/1"
+
+#: Minimum absolute change that can count as drift (replay noise floor).
+ABS_FLOOR = 0.05
+
+#: Relative change band: drift must exceed this fraction of the old value.
+REL_BAND = 0.25
+
+
+def _trend_file(history_dir: str | Path) -> Path:
+    return Path(history_dir) / "trend.jsonl"
+
+
+def _record_from_report(report: dict, run: int) -> dict:
+    return {
+        "schema": TREND_SCHEMA,
+        "run": run,
+        "summary": dict(report["summary"]),
+        "metrics": {
+            entry["case"]: dict(entry["metrics"]) for entry in report["results"]
+        },
+    }
+
+
+def load_trend(history_dir: str | Path) -> list[dict]:
+    """Read every trend record, oldest first (torn trailing lines skipped)."""
+    path = _trend_file(history_dir)
+    if not path.exists():
+        return []
+    records = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue  # torn trailing line from an interrupted append
+        if record.get("schema") == TREND_SCHEMA:
+            records.append(record)
+    return records
+
+
+def detect_drift(previous: dict, current: dict) -> list[dict]:
+    """Metric drifts between two consecutive trend records.
+
+    Returns one entry per ``(case, metric)`` whose change exceeds the
+    absolute floor *and* the relative band; cases or metrics present in
+    only one record are ignored (coverage changes are not drift).
+    """
+    drifts = []
+    for case_id, current_metrics in sorted(current.get("metrics", {}).items()):
+        previous_metrics = previous.get("metrics", {}).get(case_id)
+        if previous_metrics is None:
+            continue
+        for name, value in sorted(current_metrics.items()):
+            old = previous_metrics.get(name)
+            if old is None or value is None:
+                continue
+            delta = abs(float(value) - float(old))
+            if delta > max(ABS_FLOOR, REL_BAND * abs(float(old))):
+                drifts.append(
+                    {
+                        "case": case_id,
+                        "metric": name,
+                        "previous": float(old),
+                        "current": float(value),
+                        "delta": round(delta, 9),
+                    }
+                )
+    return drifts
+
+
+def append_trend(report: dict, history_dir: str | Path) -> dict:
+    """Append one run's summary to the trend file and flag drift.
+
+    Returns ``{"record": <appended record>, "drift": [<drift entries>]}``;
+    drift is computed against the last record already in the file (empty
+    list for the first run).  The history directory is created on demand.
+    """
+    history_dir = Path(history_dir)
+    history_dir.mkdir(parents=True, exist_ok=True)
+    existing = load_trend(history_dir)
+    record = _record_from_report(report, run=len(existing))
+    drift = detect_drift(existing[-1], record) if existing else []
+    with open(_trend_file(history_dir), "a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return {"record": record, "drift": drift}
+
+
+def render_drift(drifts: list[dict]) -> str:
+    """Human-readable drift lines (empty string when nothing drifted)."""
+    if not drifts:
+        return ""
+    lines = [f"metric drift vs previous run ({len(drifts)} flagged):"]
+    for entry in drifts:
+        lines.append(
+            f"  {entry['case']}.{entry['metric']}: "
+            f"{entry['previous']:.6g} -> {entry['current']:.6g} "
+            f"(|delta| {entry['delta']:.6g})"
+        )
+    return "\n".join(lines)

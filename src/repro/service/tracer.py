@@ -1,0 +1,163 @@
+"""Structured span/event streaming for service jobs and eval runs.
+
+A :class:`Tracer` appends schema-versioned JSONL records to a trace file —
+one line per event or span, flushed immediately so ``python -m repro tail``
+can stream a running job's progress.  Records are deliberately flat::
+
+    {"schema": "atlas-trace/1", "kind": "event", "name": "...",
+     "ts": 1700000000.123, "attrs": {...}}
+    {"schema": "atlas-trace/1", "kind": "span", "name": "...",
+     "ts": ..., "duration_s": 0.42, "status": "ok", "attrs": {...}}
+
+``ts`` is the wall-clock time the record was *emitted* (spans emit on
+exit), ``duration_s`` is measured on the monotonic clock, and ``status``
+is ``"ok"`` or ``"error"`` (the span body raised; the exception type is
+recorded and re-raised).  Attribute values must be JSON-serialisable;
+non-serialisable ones are stringified rather than dropped.
+
+:class:`NullTracer` is the no-op stand-in, so call sites never need
+``if tracer is not None`` guards.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from threading import Lock
+from typing import Iterator
+
+__all__ = ["NullTracer", "TRACE_SCHEMA", "Tracer", "read_trace"]
+
+#: Schema identifier of every trace record.
+TRACE_SCHEMA = "atlas-trace/1"
+
+
+def _jsonable_attrs(attrs: dict) -> dict:
+    safe = {}
+    for key, value in attrs.items():
+        try:
+            json.dumps(value)
+        except (TypeError, ValueError):
+            value = repr(value)
+        safe[key] = value
+    return safe
+
+
+class Tracer:
+    """Append-only JSONL tracer (thread safe, flushes every record)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = Lock()
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def _write(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._handle.closed:  # pragma: no cover - late event after close
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def event(self, name: str, **attrs) -> None:
+        """Emit one point-in-time event record."""
+        self._write(
+            {
+                "schema": TRACE_SCHEMA,
+                "kind": "event",
+                "name": name,
+                "ts": time.time(),
+                "attrs": _jsonable_attrs(attrs),
+            }
+        )
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[dict]:
+        """Time a block; emit one span record when it exits.
+
+        Yields the mutable ``attrs`` dict so the body can attach results
+        discovered mid-span (they are serialised on exit).
+        """
+        start = time.perf_counter()
+        status = "ok"
+        attrs = dict(attrs)
+        try:
+            yield attrs
+        except BaseException as error:
+            status = "error"
+            attrs.setdefault("error", type(error).__name__)
+            raise
+        finally:
+            self._write(
+                {
+                    "schema": TRACE_SCHEMA,
+                    "kind": "span",
+                    "name": name,
+                    "ts": time.time(),
+                    "duration_s": round(time.perf_counter() - start, 6),
+                    "status": status,
+                    "attrs": _jsonable_attrs(attrs),
+                }
+            )
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "Tracer":
+        """Enter the context manager (returns the tracer itself)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close the trace file on context exit."""
+        self.close()
+
+
+class NullTracer:
+    """No-op tracer with the same API (default at tracer-less call sites)."""
+
+    def event(self, name: str, **attrs) -> None:
+        """Discard the event."""
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[dict]:
+        """Run the body without recording anything."""
+        yield dict(attrs)
+
+    def close(self) -> None:
+        """Nothing to close."""
+
+    def __enter__(self) -> "NullTracer":
+        """Enter the context manager (returns the tracer itself)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Nothing to close on exit."""
+
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Parse a trace file into records, skipping torn trailing lines.
+
+    A crashed writer can leave a partial final line; it is ignored rather
+    than raised so ``status``/``tail`` stay usable mid-crash.
+    """
+    records: list[dict] = []
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return records
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
